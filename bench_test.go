@@ -1,0 +1,171 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Section 7). Each benchmark runs the corresponding
+// experiment at a reduced scale (the suite shrunk to CI size, fewer
+// repetitions, smaller NH) and reports the headline quantities as custom
+// benchmark metrics, so `go test -bench=.` doubles as a smoke
+// reproduction. cmd/experiments regenerates the full tables with
+// paper-sized parameters.
+//
+// Metric naming: qCo_* is the geometric-mean Coco quotient after/before
+// TIMER (< 1 means TIMER improved the mapping), qCut_* the edge-cut
+// quotient, qT_* the time quotient vs the baseline.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/netgen"
+	"repro/internal/partition"
+	"repro/internal/topology"
+)
+
+// benchCfg is the reduced-scale configuration used by the table/figure
+// benchmarks.
+func benchCfg() experiments.Config {
+	return experiments.Config{Reps: 1, NH: 5, Epsilon: 0.03, Seed: 1}
+}
+
+const (
+	benchScale = 0.004
+	benchMaxV  = 3000
+	benchMaxE  = 70000
+)
+
+// BenchmarkTable1NetworkSuite regenerates Table 1: the 15-network suite.
+func BenchmarkTable1NetworkSuite(b *testing.B) {
+	b.ReportAllocs()
+	var totalV, totalE int
+	for i := 0; i < b.N; i++ {
+		suite := netgen.GenerateSuite(netgen.SuiteOption{Scale: benchScale, Seed: int64(i)})
+		if len(suite) != 15 {
+			b.Fatalf("suite has %d networks, want 15", len(suite))
+		}
+		totalV, totalE = 0, 0
+		for _, inst := range suite {
+			totalV += inst.G.N()
+			totalE += inst.G.M()
+		}
+	}
+	b.ReportMetric(float64(totalV), "vertices")
+	b.ReportMetric(float64(totalE), "edges")
+}
+
+// benchCase runs one experimental case over the reduced suite and
+// reports the per-topology Coco quotients (the content of one Figure 5
+// subplot) plus the aggregate time quotient (one column group of
+// Table 2).
+func benchCase(b *testing.B, c experiments.Case) {
+	b.Helper()
+	var results []*experiments.SuiteResult
+	for i := 0; i < b.N; i++ {
+		suite, err := experiments.NewSuite(benchScale, benchMaxV, benchMaxE, benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		results, err = suite.RunCase(c, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, sr := range results {
+		b.ReportMetric(sr.QCo.Mean, "qCo_"+sr.Topo)
+	}
+	var qtSum float64
+	for _, sr := range results {
+		qtSum += sr.QT.Mean
+	}
+	b.ReportMetric(qtSum/float64(len(results)), "qT_mean")
+}
+
+// BenchmarkFigure5a_SCOTCH regenerates Figure 5a (case c1: TIMER on DRB
+// initial mappings) and the c1 columns of Table 2.
+func BenchmarkFigure5a_SCOTCH(b *testing.B) { benchCase(b, experiments.C1SCOTCH) }
+
+// BenchmarkFigure5b_Identity regenerates Figure 5b (case c2).
+func BenchmarkFigure5b_Identity(b *testing.B) { benchCase(b, experiments.C2Identity) }
+
+// BenchmarkFigure5c_GreedyAllC regenerates Figure 5c (case c3).
+func BenchmarkFigure5c_GreedyAllC(b *testing.B) { benchCase(b, experiments.C3GreedyAllC) }
+
+// BenchmarkFigure5d_GreedyMin regenerates Figure 5d (case c4).
+func BenchmarkFigure5d_GreedyMin(b *testing.B) { benchCase(b, experiments.C4GreedyMin) }
+
+// BenchmarkTable2RuntimeQuotients regenerates Table 2 across all four
+// cases (this is the full evaluation; the figure benchmarks above cover
+// its per-case columns individually).
+func BenchmarkTable2RuntimeQuotients(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		suite, err := experiments.NewSuite(benchScale, benchMaxV, benchMaxE, benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range experiments.Cases() {
+			if _, err := suite.RunCase(c, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkTable3PartitionTimes regenerates Table 3: partitioner
+// running times for |Vp| = 256 and 512 over the suite.
+func BenchmarkTable3PartitionTimes(b *testing.B) {
+	suite, err := experiments.NewSuite(0.02, 20000, 200000, benchCfg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var rows []experiments.PartitionTiming
+	for i := 0; i < b.N; i++ {
+		rows, err = suite.PartitionTimes(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var sum256, sum512 float64
+	for _, r := range rows {
+		sum256 += r.Seconds[0]
+		sum512 += r.Seconds[1]
+	}
+	b.ReportMetric(sum256, "s_k256_total")
+	b.ReportMetric(sum512, "s_k512_total")
+}
+
+// BenchmarkTimerEnhance measures TIMER alone (one hierarchy batch per
+// topology) on a fixed network — the core algorithm's throughput,
+// O(NH·|Ea|·dimGa).
+func BenchmarkTimerEnhance(b *testing.B) {
+	ga := netgen.Generate(netgen.RMAT, 4000, 16000, 7)
+	for _, pt := range topology.PaperTopologies() {
+		topo := pt.MustBuild()
+		part, err := partition.Partition(ga, partition.Config{K: topo.P(), Epsilon: 0.03, Seed: 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		assign := MapIdentity(part.Part)
+		b.Run(topo.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Enhance(ga, topo, assign, TimerOptions{NumHierarchies: 5, Seed: int64(i)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPartitioner measures the KaHIP-substitute partitioner at the
+// paper's block counts (the denominator of Table 2's quotients).
+func BenchmarkPartitioner(b *testing.B) {
+	ga := netgen.Generate(netgen.RMAT, 6000, 24000, 9)
+	for _, k := range []int{256, 512} {
+		b.Run(map[int]string{256: "k256", 512: "k512"}[k], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := partition.Partition(ga, partition.Config{K: k, Epsilon: 0.03, Seed: int64(i)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

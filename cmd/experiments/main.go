@@ -1,0 +1,136 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Section 7): Table 1 (network suite), Table 2 (running-time
+// quotients), Table 3 (partition times) and Figures 5a-5d (quality
+// quotients per experimental case).
+//
+// Usage:
+//
+//	experiments -scale 0.02 -reps 3 -nh 10            # quick pass, everything
+//	experiments -table 2                              # just Table 2
+//	experiments -figure 5c                            # just Figure 5c
+//	experiments -scale 1 -reps 5 -nh 50               # paper-sized run (hours)
+//	experiments -csv results.csv                      # raw per-instance CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		scale   = flag.Float64("scale", 0.02, "network scale in (0,1]; 1 = paper-sized instances")
+		maxV    = flag.Int("maxv", 60000, "skip networks with more than this many scaled vertices (0 = keep all)")
+		maxE    = flag.Int("maxe", 0, "skip networks with more than this many scaled edges (0 = keep all)")
+		reps    = flag.Int("reps", 3, "repetitions per instance (paper: 5)")
+		nh      = flag.Int("nh", 10, "TIMER hierarchies NH (paper: 50)")
+		eps     = flag.Float64("eps", 0.03, "partitioning imbalance")
+		seed    = flag.Int64("seed", 1, "base random seed")
+		table   = flag.String("table", "", "regenerate only this table (1, 2 or 3)")
+		figure  = flag.String("figure", "", "regenerate only this figure (5a, 5b, 5c or 5d)")
+		csvPath = flag.String("csv", "", "also write raw per-instance quotients to this CSV file")
+		quiet   = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Reps: *reps, NH: *nh, Epsilon: *eps, Seed: *seed}
+	suite, err := experiments.NewSuite(*scale, *maxV, *maxE, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	progress := func(msg string) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "[%s] %s\n", time.Now().Format("15:04:05"), msg)
+		}
+	}
+
+	wantTable := func(t string) bool { return (*table == "" && *figure == "") || *table == t }
+	wantFigure := func(f string) bool { return (*table == "" && *figure == "") || *figure == f }
+
+	if wantTable("1") {
+		if err := experiments.WriteTable1(os.Stdout, suite.Networks); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+
+	caseForFigure := map[string]experiments.Case{
+		"5a": experiments.C1SCOTCH,
+		"5b": experiments.C2Identity,
+		"5c": experiments.C3GreedyAllC,
+		"5d": experiments.C4GreedyMin,
+	}
+	needCases := map[experiments.Case]bool{}
+	if wantTable("2") {
+		for _, c := range experiments.Cases() {
+			needCases[c] = true
+		}
+	}
+	for fig, c := range caseForFigure {
+		if wantFigure(fig) {
+			needCases[c] = true
+		}
+	}
+
+	results := map[experiments.Case][]*experiments.SuiteResult{}
+	for _, c := range experiments.Cases() {
+		if !needCases[c] {
+			continue
+		}
+		rs, err := suite.RunCase(c, progress)
+		if err != nil {
+			fatal(err)
+		}
+		results[c] = rs
+	}
+
+	if wantTable("2") {
+		if err := experiments.WriteTable2(os.Stdout, results); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	for _, fig := range []string{"5a", "5b", "5c", "5d"} {
+		c := caseForFigure[fig]
+		if wantFigure(fig) && results[c] != nil {
+			if err := experiments.WriteFigure5(os.Stdout, c, results[c]); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+	}
+
+	if wantTable("3") {
+		rows, err := suite.PartitionTimes(progress)
+		if err != nil {
+			fatal(err)
+		}
+		if err := experiments.WriteTable3(os.Stdout, rows); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+
+	if *csvPath != "" && len(results) > 0 {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := experiments.WriteInstanceCSV(f, results); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,128 @@
+// Command timer maps a graph onto a partial-cube topology with one of
+// the paper's baseline algorithms and enhances the mapping with TIMER,
+// reporting Coco and edge cut before and after.
+//
+// Usage:
+//
+//	timer -graph app.metis -topo grid16x16 -algo identity -nh 50
+//	timer -network p2p-Gnutella -scale 0.25 -topo torus16x16 -algo allc
+//	timer -network as-22july06 -topo 8-dimHQ -algo drb -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "application graph in METIS format")
+		network   = flag.String("network", "", "generate a Table 1 network instead of reading a file")
+		scale     = flag.Float64("scale", 0.1, "network scale when -network is used")
+		topoName  = flag.String("topo", "grid16x16", "processor topology: grid16x16, grid8x8x8, torus16x16, torus8x8x8, 8-dimHQ")
+		algo      = flag.String("algo", "identity", "initial mapping: identity, allc, min, drb")
+		nh        = flag.Int("nh", 50, "TIMER hierarchies")
+		eps       = flag.Float64("eps", 0.03, "partitioning imbalance")
+		seed      = flag.Int64("seed", 1, "random seed")
+		report    = flag.Bool("report", false, "print dilation and link-congestion reports (routing simulation)")
+	)
+	flag.Parse()
+
+	ga, err := loadGraph(*graphPath, *network, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	topo, err := repro.PaperTopology(*topoName)
+	if err != nil {
+		fatal(err)
+	}
+	if ga.N() < topo.P() {
+		fatal(fmt.Errorf("graph has %d vertices but topology has %d PEs", ga.N(), topo.P()))
+	}
+	fmt.Printf("application graph: n=%d m=%d\n", ga.N(), ga.M())
+	fmt.Printf("topology: %s (%d PEs, %d convex cuts)\n", topo.Name, topo.P(), topo.Dim)
+
+	t0 := time.Now()
+	assign, err := initialMapping(ga, topo, *algo, *eps, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	mapTime := time.Since(t0)
+
+	cocoBefore := repro.Coco(ga, assign, topo)
+	cutBefore := repro.Cut(ga, assign)
+	fmt.Printf("initial mapping (%s): Coco=%d Cut=%d  [%.3fs]\n", *algo, cocoBefore, cutBefore, mapTime.Seconds())
+
+	t1 := time.Now()
+	res, err := repro.Enhance(ga, topo, assign, repro.TimerOptions{NumHierarchies: *nh, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	timerTime := time.Since(t1)
+
+	cutAfter := repro.Cut(ga, res.Assign)
+	fmt.Printf("after TIMER (NH=%d): Coco=%d Cut=%d  [%.3fs]\n", *nh, res.CocoAfter, cutAfter, timerTime.Seconds())
+	fmt.Printf("Coco improvement: %.2f%%  (quotient %.4f)\n",
+		100*(1-float64(res.CocoAfter)/float64(cocoBefore)),
+		float64(res.CocoAfter)/float64(cocoBefore))
+	fmt.Printf("hierarchies kept: %d/%d, label swaps: %d\n", res.HierarchiesKept, *nh, res.SwapsApplied)
+	if err := repro.ValidateMapping(ga, res.Assign, topo, -1); err != nil {
+		fatal(err)
+	}
+	if *report {
+		fmt.Printf("before: %s\n", repro.EvaluateMapping(ga, assign, topo))
+		fmt.Printf("after:  %s\n", repro.EvaluateMapping(ga, res.Assign, topo))
+		simBefore, err := repro.SimulateRouting(ga, assign, topo)
+		if err != nil {
+			fatal(err)
+		}
+		simAfter, err := repro.SimulateRouting(ga, res.Assign, topo)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("routing before: %s\n", simBefore)
+		fmt.Printf("routing after:  %s\n", simAfter)
+	}
+}
+
+func loadGraph(path, network string, scale float64, seed int64) (*repro.Graph, error) {
+	switch {
+	case path != "" && network != "":
+		return nil, fmt.Errorf("use either -graph or -network, not both")
+	case path != "":
+		return repro.ReadGraph(path)
+	case network != "":
+		return repro.GenerateNetwork(network, scale, seed)
+	default:
+		return nil, fmt.Errorf("one of -graph or -network is required (networks: %v)", repro.NetworkNames())
+	}
+}
+
+func initialMapping(ga *repro.Graph, topo *repro.Topology, algo string, eps float64, seed int64) ([]int32, error) {
+	if algo == "drb" {
+		return repro.MapDRB(ga, topo, repro.DRBConfig{Epsilon: eps, Seed: seed, Fast: true})
+	}
+	part, err := repro.Partition(ga, topo.P(), eps, seed)
+	if err != nil {
+		return nil, err
+	}
+	switch algo {
+	case "identity":
+		return repro.MapIdentity(part.Part), nil
+	case "allc":
+		return repro.MapGreedyAllC(ga, part.Part, topo)
+	case "min":
+		return repro.MapGreedyMin(ga, part.Part, topo)
+	default:
+		return nil, fmt.Errorf("unknown -algo %q (want identity, allc, min or drb)", algo)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "timer:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,60 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// ExampleEnhance shows the core enhancement loop on a tiny instance:
+// eight tasks in two squads, mapped badly onto a 2×2 grid, fixed by
+// TIMER.
+func ExampleEnhance() {
+	// Two 4-cliques with one weak link between them.
+	b := repro.NewBuilder(8)
+	for _, sq := range [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}} {
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				b.AddEdge(sq[i], sq[j], 10)
+			}
+		}
+	}
+	b.AddEdge(0, 4, 1)
+	ga := b.Build()
+
+	topo, _ := repro.Grid(2, 2)
+	// A deliberately bad balanced mapping: squads interleaved over PEs.
+	bad := []int32{0, 1, 2, 3, 0, 1, 2, 3}
+
+	res, _ := repro.Enhance(ga, topo, bad, repro.TimerOptions{NumHierarchies: 20, Seed: 1})
+	fmt.Println("improved:", res.CocoAfter < res.CocoBefore)
+	// Output:
+	// improved: true
+}
+
+// ExampleGrid demonstrates the partial-cube property of mesh
+// topologies: hop distance equals Hamming distance of the labels.
+func ExampleGrid() {
+	topo, _ := repro.Grid(4, 4)
+	fmt.Println("PEs:", topo.P())
+	fmt.Println("label digits:", topo.Dim)
+	// Opposite corners of a 4x4 grid are 6 hops apart.
+	fmt.Println("corner distance:", topo.Distance(0, 15))
+	// Output:
+	// PEs: 16
+	// label digits: 6
+	// corner distance: 6
+}
+
+// ExamplePartition shows the KaHIP-style multilevel partitioner.
+func ExamplePartition() {
+	ga, _ := repro.GenerateNetwork("p2p-Gnutella", 0.05, 7)
+	res, _ := repro.Partition(ga, 8, 0.03, 7)
+	fmt.Println("blocks:", res.K)
+	fmt.Println("balanced:", res.Balance <= 1.03)
+	fmt.Println("cut positive:", res.Cut > 0)
+	// Output:
+	// blocks: 8
+	// balanced: true
+	// cut positive: true
+}

@@ -1,0 +1,68 @@
+// Hierarchies: reproduces the paper's Figure 2 — two opposite
+// hierarchies of the 4-dimensional hypercube induced by permutations of
+// the label digits.
+//
+// Every permutation π of label positions turns the partial-cube labeling
+// into a hierarchy: group PEs whose permuted labels agree on the first i
+// digits. The identity and the digit-reversing permutation give the two
+// "opposite" hierarchies shown in the figure; TIMER's power comes from
+// searching across many such random hierarchies.
+//
+// Run with: go run ./examples/hierarchies
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"repro"
+	"repro/internal/bitvec"
+)
+
+func main() {
+	topo, err := repro.Hypercube(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d PEs, labels of %d digits\n\n", topo.Name, topo.P(), topo.Dim)
+
+	show("hierarchy for pi = (1,2,3,4)  [identity]", topo, bitvec.Identity(4))
+	fmt.Println()
+	show("hierarchy for pi = (4,3,2,1)  [opposite]", topo, bitvec.Reverse(4))
+}
+
+// show prints the hierarchy level by level: at level i, PEs group by the
+// first i digits of the permuted label (digits are printed MSB-first as
+// in the paper, so "first" digits are the most significant ones).
+func show(title string, topo *repro.Topology, pi bitvec.Permutation) {
+	dim := topo.Dim
+	fmt.Println(title)
+	for level := 0; level <= dim; level++ {
+		groups := map[string][]string{}
+		for pe := 0; pe < topo.P(); pe++ {
+			perm := pi.Apply(topo.Labels[pe])
+			s := perm.String(dim)
+			// Group key: the level most significant digits; the rest shown
+			// as the wildcard "x" of the figure.
+			key := s[:level] + strings.Repeat("x", dim-level)
+			groups[key] = append(groups[key], topo.Labels[pe].String(dim))
+		}
+		keys := make([]string, 0, len(groups))
+		for k := range groups {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Printf("  level %d (%2d groups): ", dim-level, len(keys))
+		if len(keys) <= 4 {
+			for _, k := range keys {
+				sort.Strings(groups[k])
+				fmt.Printf("%s{%s} ", k, strings.Join(groups[k], ","))
+			}
+		} else {
+			fmt.Printf("%s ... %s", keys[0], keys[len(keys)-1])
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,80 @@
+// Treetopology: mapping onto a hierarchical (tree) interconnect.
+//
+// The paper's partial-cube class includes all trees, which model the
+// switch hierarchies of small clusters: a core switch, rack switches,
+// and nodes per rack, where communication between racks pays extra
+// hops. Every tree edge is its own convex cut, so the labels directly
+// encode the rack hierarchy, and TIMER's label swaps move whole task
+// groups between racks when that pays off.
+//
+// Run with: go run ./examples/treetopology
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// Two-level cluster: core switch 0, 4 rack switches, 7 nodes each
+	// (37 vertices; trees need one label digit per edge, so small trees
+	// only — a 64-edge limit comes with the 64-digit labels).
+	const racks, perRack = 4, 7
+	parent := make([]int, 1+racks+racks*perRack)
+	for r := 0; r < racks; r++ {
+		parent[1+r] = 0
+		for i := 0; i < perRack; i++ {
+			parent[1+racks+r*perRack+i] = 1 + r
+		}
+	}
+	topo, err := repro.TreeTopology("cluster4x7", parent)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("topology: %s, %d PEs, %d convex cuts (tree edges)\n", "cluster4x7", topo.P(), topo.Dim)
+
+	// Workload: 4 tightly-coupled task groups plus background chatter —
+	// each group should end up inside one rack.
+	ga, err := repro.GenerateNetwork("PGPgiantcompo", 0.05, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %d tasks, %d communication pairs\n", ga.N(), ga.M())
+
+	part, err := repro.Partition(ga, topo.P(), 0.03, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two initial placements of the same partition: the partitioner's
+	// natural block order, and a "striped" scheduler that scatters
+	// consecutive blocks across racks (what a locality-oblivious
+	// scheduler produces).
+	placements := []struct {
+		name string
+		nu   func(b int32) int32
+	}{
+		{"identity ", func(b int32) int32 { return b }},
+		{"striped  ", func(b int32) int32 { return (b*7 + 3) % int32(topo.P()) }},
+	}
+	for _, pl := range placements {
+		assign := make([]int32, ga.N())
+		for v, b := range part.Part {
+			assign[v] = pl.nu(b)
+		}
+		before := repro.Coco(ga, assign, topo)
+		res, err := repro.Enhance(ga, topo, assign, repro.TimerOptions{NumHierarchies: 40, Seed: 11})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim, err := repro.SimulateRouting(ga, res.Assign, topo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s Coco %5d -> %5d (%4.1f%% better, %2d hierarchies kept), max link load %d\n",
+			pl.name, before, res.CocoAfter,
+			100*(1-float64(res.CocoAfter)/float64(before)), res.HierarchiesKept, sim.MaxLinkLoad)
+	}
+}

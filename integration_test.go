@@ -1,0 +1,77 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/netgen"
+	"repro/internal/topology"
+)
+
+// TestIntegrationAllCasesAllTopologies runs the complete pipeline —
+// generate, partition/map with every baseline, enhance with TIMER,
+// validate — on every paper topology. This is the repository's
+// cross-module smoke test.
+func TestIntegrationAllCasesAllTopologies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline across 20 case/topology pairs")
+	}
+	ga := netgen.Generate(netgen.RMAT, 1600, 6500, 99)
+	cfg := experiments.Config{Reps: 1, NH: 3, Epsilon: 0.03, Seed: 9}
+	for _, pt := range topology.PaperTopologies() {
+		topo := pt.MustBuild()
+		if ga.N() <= topo.P() {
+			t.Fatalf("test instance too small for %s", topo.Name)
+		}
+		for _, c := range experiments.Cases() {
+			m, err := experiments.RunRep(ga, topo, c, cfg, 9)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", c, topo.Name, err)
+			}
+			if m.CocoAfter > m.CocoBefore {
+				t.Errorf("%s on %s: Coco worsened %d -> %d", c, topo.Name, m.CocoBefore, m.CocoAfter)
+			}
+			if m.CutBefore <= 0 || m.CutAfter <= 0 {
+				t.Errorf("%s on %s: degenerate cuts %d -> %d", c, topo.Name, m.CutBefore, m.CutAfter)
+			}
+		}
+	}
+}
+
+// TestIntegrationImprovementShape verifies the paper's headline ordering
+// on a single mid-size instance: the generic DRB baseline leaves more
+// room for TIMER than the topology-aware greedies.
+func TestIntegrationImprovementShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-case comparison")
+	}
+	ga := netgen.Generate(netgen.RMAT, 2500, 11000, 5)
+	topo, err := Grid(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := experiments.Config{Reps: 1, NH: 8, Epsilon: 0.03, Seed: 4}
+	gain := map[experiments.Case]float64{}
+	for _, c := range experiments.Cases() {
+		m, err := experiments.RunRep(ga, topo, c, cfg, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gain[c] = 1 - float64(m.CocoAfter)/float64(m.CocoBefore)
+	}
+	// c1 (DRB) must see a strictly larger improvement than the greedy
+	// baselines c3/c4 (paper Section 7.2: "TIMER is able to decrease the
+	// communication costs significantly for c1, even more than in the
+	// other cases").
+	if gain[experiments.C1SCOTCH] <= gain[experiments.C3GreedyAllC] ||
+		gain[experiments.C1SCOTCH] <= gain[experiments.C4GreedyMin] {
+		t.Errorf("improvement ordering violated: c1=%.3f c2=%.3f c3=%.3f c4=%.3f",
+			gain[experiments.C1SCOTCH], gain[experiments.C2Identity],
+			gain[experiments.C3GreedyAllC], gain[experiments.C4GreedyMin])
+	}
+	for c, g := range gain {
+		if g < 0 {
+			t.Errorf("%s: negative improvement %.3f", c, g)
+		}
+	}
+}

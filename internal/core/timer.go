@@ -1,0 +1,299 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/bitvec"
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// Options configures a TIMER run (procedure TIMER of Algorithm 1).
+type Options struct {
+	// NumHierarchies is NH, the number of random label-permutation
+	// hierarchies to try. The paper uses 50 and notes that 10 already
+	// captures most of the improvement. Default 50.
+	NumHierarchies int
+	// Seed drives the extension shuffle and the permutations.
+	Seed int64
+
+	// DisableDiv ablates the diversity term of Section 5: the objective
+	// reverts from Coco+ = Coco − Div to plain Coco, so swaps on
+	// extension digits never fire. Exposed for the ablation benchmarks.
+	DisableDiv bool
+	// FixedPermutations ablates the multi-hierarchy diversity of
+	// Section 6: instead of NH random permutations, TIMER alternates
+	// between the identity and the digit-reversing permutation (the two
+	// opposite hierarchies of Figure 2).
+	FixedPermutations bool
+	// Workers > 1 evaluates hierarchies in concurrent batches — the
+	// "effective first step toward a parallel version" the paper
+	// sketches in Section 6.3. Each batch builds Workers independent
+	// hierarchies from the current labeling and accepts the best
+	// candidate. Results remain deterministic for a fixed seed; the
+	// search trajectory differs from the sequential one because
+	// hierarchies within a batch do not see each other's improvements.
+	Workers int
+	// SwapRounds repeats the sibling-swap pass on each hierarchy level
+	// until it converges or the bound is hit (default 1, the paper's
+	// single pass). The paper's conclusion suggests replacing its
+	// "standard and simple" local search with something stronger; extra
+	// rounds are the cheapest such strengthening.
+	SwapRounds int
+}
+
+func (o Options) withDefaults() Options {
+	if o.NumHierarchies <= 0 {
+		o.NumHierarchies = 50
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.SwapRounds <= 0 {
+		o.SwapRounds = 1
+	}
+	return o
+}
+
+// Result reports a TIMER run.
+type Result struct {
+	// Labeling is the final labeling (Labels encode the enhanced µ).
+	Labeling *Labeling
+	// Assign is the enhanced mapping extracted from the labels.
+	Assign []int32
+	// CocoBefore/After are the paper's main objective before and after.
+	CocoBefore, CocoAfter int64
+	// CocoPlusBefore/After are the extended objective (Eq. (14)).
+	CocoPlusBefore, CocoPlusAfter int64
+	// HierarchiesKept counts hierarchies whose labeling was accepted.
+	HierarchiesKept int
+	// SwapsApplied counts label swaps across all kept hierarchies.
+	SwapsApplied int
+	// Repairs counts assemble() bijectivity repairs (diagnostic; the
+	// counting trie makes assemble bijective, so this stays 0 unless the
+	// safety net is exercised by a future change).
+	Repairs int
+}
+
+// Enhance runs TIMER on an initial mapping assign of ga onto topo and
+// returns the enhanced mapping. The balance of the input mapping is
+// preserved exactly: TIMER only permutes labels within the fixed label
+// set, so block sizes never change (paper Section 4).
+func Enhance(ga *graph.Graph, topo *topology.Topology, assign []int32, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	lab, err := NewLabeling(ga, topo, assign, rng)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Labeling:       lab,
+		CocoBefore:     lab.Coco(),
+		CocoPlusBefore: lab.CocoPlus(),
+	}
+	if lab.DimGa >= 2 && ga.N() > 1 {
+		if opt.Workers > 1 {
+			runHierarchiesParallel(lab, opt, rng, res)
+		} else {
+			runHierarchies(lab, opt, rng, res)
+		}
+	}
+	res.CocoAfter = lab.Coco()
+	res.CocoPlusAfter = lab.CocoPlus()
+	res.Assign, err = lab.Assignment()
+	if err != nil {
+		return nil, fmt.Errorf("core: extracting enhanced mapping: %w", err)
+	}
+	return res, nil
+}
+
+// objectiveMasks returns the +1 and −1 digit masks of the acceptance
+// objective: Coco+ normally, plain Coco under the DisableDiv ablation.
+func objectiveMasks(lab *Labeling, opt Options) (plus, minus uint64) {
+	plus = lab.LpMask()
+	if !opt.DisableDiv {
+		minus = lab.ExtMask()
+	}
+	return plus, minus
+}
+
+// pickPermutation returns the h-th hierarchy permutation.
+func pickPermutation(h, dimGa int, opt Options, rng *rand.Rand) bitvec.Permutation {
+	if opt.FixedPermutations {
+		if h%2 == 0 {
+			return bitvec.Identity(dimGa)
+		}
+		return bitvec.Reverse(dimGa)
+	}
+	return bitvec.Random(rng, dimGa)
+}
+
+// trial is the outcome of building and assembling one hierarchy.
+type trial struct {
+	labels   []bitvec.Label
+	cocoPlus int64
+	swaps    int
+	repairs  int
+}
+
+// tryHierarchy executes one iteration of Algorithm 1's outer loop (lines
+// 5-16) from the given base labels: permute, build the swap/contract
+// hierarchy, assemble, un-permute. It does not decide acceptance.
+func tryHierarchy(ga *graph.Graph, base []bitvec.Label, dimGa int,
+	pi bitvec.Permutation, plusMask, minusMask uint64, swapRounds int) trial {
+	permLabels := make([]bitvec.Label, len(base))
+	for v, l := range base {
+		permLabels[v] = pi.Apply(l)
+	}
+	signs := make([]int8, dimGa)
+	for j := 0; j < dimGa; j++ {
+		bit := uint64(1) << uint(pi[j])
+		switch {
+		case bit&plusMask != 0:
+			signs[j] = 1
+		case bit&minusMask != 0:
+			signs[j] = -1
+		default:
+			signs[j] = 0 // ablated digit: swaps there can never gain
+		}
+	}
+	trie := newSuffixTrie(permLabels, dimGa)
+
+	work := append([]bitvec.Label(nil), permLabels...)
+	levels := buildHierarchy(ga, work, dimGa, signs, swapRounds)
+	swaps := countSwaps(levels)
+
+	newPerm := assemble(levels, dimGa, trie)
+
+	inv := pi.Inverse()
+	candidate := make([]bitvec.Label, len(base))
+	for v, l := range newPerm {
+		candidate[v] = inv.Apply(l)
+	}
+	repairs := repairDuplicates(ga, candidate, base, plusMask, minusMask)
+	return trial{
+		labels:   candidate,
+		cocoPlus: cocoPlusOfLabels(ga, candidate, plusMask, minusMask),
+		swaps:    swaps,
+		repairs:  repairs,
+	}
+}
+
+// runHierarchies is the main loop of Algorithm 1 (lines 3-20).
+//
+// One deliberate strengthening over the paper's pseudocode: hierarchies
+// are accepted on the Coco+ criterion exactly as in lines 17-19, but the
+// labeling finally returned is the accepted state with the lowest plain
+// Coco (the paper's actual quality measure, Eq. (3)). Coco+ = Coco − Div
+// can improve while Coco degrades slightly; since TIMER is presented as
+// an enhancer whose output is measured in Coco, tracking the best
+// accepted Coco state guarantees the enhancement property without
+// changing the search trajectory.
+func runHierarchies(lab *Labeling, opt Options, rng *rand.Rand, res *Result) {
+	ga := lab.Ga
+	dimGa := lab.DimGa
+	plusMask, minusMask := objectiveMasks(lab, opt)
+	bestCocoPlus := cocoPlusOfLabels(ga, lab.Labels, plusMask, minusMask)
+	bestCoco := lab.Coco()
+	bestCocoLabels := append([]bitvec.Label(nil), lab.Labels...)
+
+	for h := 0; h < opt.NumHierarchies; h++ {
+		pi := pickPermutation(h, dimGa, opt, rng)
+		t := tryHierarchy(ga, lab.Labels, dimGa, pi, plusMask, minusMask, opt.SwapRounds)
+		// Lines 17-19: keep only if Coco+ did not get worse.
+		if t.cocoPlus <= bestCocoPlus {
+			copy(lab.Labels, t.labels)
+			bestCocoPlus = t.cocoPlus
+			res.HierarchiesKept++
+			res.SwapsApplied += t.swaps
+			res.Repairs += t.repairs
+			if coco := cocoOfLabels(ga, t.labels, lab.LpMask()); coco < bestCoco {
+				bestCoco = coco
+				copy(bestCocoLabels, t.labels)
+			}
+		}
+	}
+	// Return the accepted state with the best plain Coco (see doc above).
+	copy(lab.Labels, bestCocoLabels)
+}
+
+// runHierarchiesParallel evaluates hierarchies in concurrent batches of
+// opt.Workers: all hierarchies of a batch start from the same labeling;
+// the best improving candidate (ties broken by batch index, keeping the
+// result deterministic) is accepted before the next batch starts.
+func runHierarchiesParallel(lab *Labeling, opt Options, rng *rand.Rand, res *Result) {
+	ga := lab.Ga
+	dimGa := lab.DimGa
+	plusMask, minusMask := objectiveMasks(lab, opt)
+	bestCocoPlus := cocoPlusOfLabels(ga, lab.Labels, plusMask, minusMask)
+	bestCoco := lab.Coco()
+	bestCocoLabels := append([]bitvec.Label(nil), lab.Labels...)
+
+	remaining := opt.NumHierarchies
+	h := 0
+	for remaining > 0 {
+		batch := opt.Workers
+		if batch > remaining {
+			batch = remaining
+		}
+		// Draw the batch's permutations up front from the shared rng so
+		// the schedule is deterministic regardless of goroutine timing.
+		pis := make([]bitvec.Permutation, batch)
+		for i := range pis {
+			pis[i] = pickPermutation(h+i, dimGa, opt, rng)
+		}
+		trials := make([]trial, batch)
+		var wg sync.WaitGroup
+		for i := 0; i < batch; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				trials[i] = tryHierarchy(ga, lab.Labels, dimGa, pis[i], plusMask, minusMask, opt.SwapRounds)
+			}(i)
+		}
+		wg.Wait()
+		bestI := -1
+		for i := range trials {
+			if trials[i].cocoPlus <= bestCocoPlus && (bestI < 0 || trials[i].cocoPlus < trials[bestI].cocoPlus) {
+				bestI = i
+			}
+		}
+		if bestI >= 0 {
+			t := &trials[bestI]
+			copy(lab.Labels, t.labels)
+			bestCocoPlus = t.cocoPlus
+			res.HierarchiesKept++
+			res.SwapsApplied += t.swaps
+			res.Repairs += t.repairs
+			if coco := cocoOfLabels(ga, t.labels, lab.LpMask()); coco < bestCoco {
+				bestCoco = coco
+				copy(bestCocoLabels, t.labels)
+			}
+		}
+		remaining -= batch
+		h += batch
+	}
+	copy(lab.Labels, bestCocoLabels)
+}
+
+// countSwaps re-derives the number of swaps performed while building the
+// hierarchy (stored on the levels for reporting).
+func countSwaps(levels []*hlevel) int {
+	total := 0
+	for _, lv := range levels {
+		total += lv.swaps
+	}
+	return total
+}
+
+// EnhanceMapping is a convenience wrapper returning only the enhanced
+// assignment.
+func EnhanceMapping(ga *graph.Graph, topo *topology.Topology, assign []int32, nh int, seed int64) ([]int32, error) {
+	res, err := Enhance(ga, topo, assign, Options{NumHierarchies: nh, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return res.Assign, nil
+}

@@ -1,0 +1,310 @@
+// Package experiments reproduces the paper's evaluation (Section 7):
+// the four experimental cases c1–c4, the five processor topologies, the
+// Table 1 network suite, and the aggregation pipeline producing Table 2
+// (running-time quotients), Table 3 (partition times) and Figures 5a–5d
+// (quality quotients).
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mapping"
+	"repro/internal/metrics"
+	"repro/internal/netgen"
+	"repro/internal/partition"
+	"repro/internal/topology"
+)
+
+// Case identifies the initial-mapping algorithm of an experimental case
+// (paper Section 7.1, "Baselines").
+type Case int
+
+const (
+	// C1SCOTCH: initial mapping from the DRB mapper (SCOTCH stand-in);
+	// time quotients are relative to the DRB mapping time.
+	C1SCOTCH Case = iota
+	// C2Identity: initial mapping = IDENTITY on a KaHIP-style partition;
+	// time quotients are relative to the partitioning time.
+	C2Identity
+	// C3GreedyAllC: initial mapping from GREEDYALLC on the communication
+	// graph of a partition.
+	C3GreedyAllC
+	// C4GreedyMin: initial mapping from GREEDYMIN (the LibTopoMap-style
+	// construction).
+	C4GreedyMin
+)
+
+// String returns the paper's name of the case's baseline.
+func (c Case) String() string {
+	switch c {
+	case C1SCOTCH:
+		return "SCOTCH"
+	case C2Identity:
+		return "IDENTITY"
+	case C3GreedyAllC:
+		return "GREEDYALLC"
+	case C4GreedyMin:
+		return "GREEDYMIN"
+	default:
+		return fmt.Sprintf("Case(%d)", int(c))
+	}
+}
+
+// Cases lists c1..c4 in paper order.
+func Cases() []Case { return []Case{C1SCOTCH, C2Identity, C3GreedyAllC, C4GreedyMin} }
+
+// Config controls a run of the harness.
+type Config struct {
+	// Reps is the number of repetitions (paper: 5).
+	Reps int
+	// NH is TIMER's hierarchy count (paper: 50).
+	NH int
+	// Epsilon is the imbalance for partitioning (paper: 0.03).
+	Epsilon float64
+	// Seed is the base seed; repetition r of any instance derives its
+	// own seed deterministically.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Reps <= 0 {
+		c.Reps = 5
+	}
+	if c.NH <= 0 {
+		c.NH = 50
+	}
+	if c.Epsilon <= 0 {
+		c.Epsilon = 0.03
+	}
+	return c
+}
+
+// RepMeasurement holds one repetition's raw observations.
+type RepMeasurement struct {
+	BaseSeconds  float64 // partition time (c2-c4) or DRB mapping time (c1)
+	TimerSeconds float64
+	CutBefore    int64
+	CutAfter     int64
+	CocoBefore   int64
+	CocoAfter    int64
+}
+
+// InstanceResult aggregates the repetitions of one (network, topology,
+// case) instance into the paper's 9 quotients.
+type InstanceResult struct {
+	Network string
+	Topo    string
+	Case    Case
+
+	// QT is TIMER time / baseline time (min/mean/max quotients).
+	QT metrics.Triple
+	// QCut is cut-after / cut-before.
+	QCut metrics.Triple
+	// QCo is Coco-after / Coco-before.
+	QCo metrics.Triple
+
+	// Raw summaries, for Table 3 and diagnostics.
+	BaseTime, TimerTime   metrics.Triple
+	CocoBefore, CocoAfter metrics.Triple
+
+	Reps []RepMeasurement
+}
+
+// RunRep executes one repetition of one case on one instance.
+func RunRep(ga *graph.Graph, topo *topology.Topology, c Case, cfg Config, seed int64) (RepMeasurement, error) {
+	var m RepMeasurement
+	var assign []int32
+
+	switch c {
+	case C1SCOTCH:
+		t0 := time.Now()
+		a, err := mapping.DRB(ga, topo, mapping.DRBConfig{Epsilon: cfg.Epsilon, Seed: seed, Fast: true})
+		if err != nil {
+			return m, fmt.Errorf("experiments: DRB: %w", err)
+		}
+		m.BaseSeconds = time.Since(t0).Seconds()
+		assign = a
+	default:
+		t0 := time.Now()
+		res, err := partition.Partition(ga, partition.Config{K: topo.P(), Epsilon: cfg.Epsilon, Seed: seed})
+		if err != nil {
+			return m, fmt.Errorf("experiments: partition: %w", err)
+		}
+		m.BaseSeconds = time.Since(t0).Seconds()
+		switch c {
+		case C2Identity:
+			assign = mapping.FromPartition(res.Part)
+		case C3GreedyAllC, C4GreedyMin:
+			gc := mapping.CommGraph(ga, res.Part, topo.P())
+			var nu []int32
+			var err error
+			if c == C3GreedyAllC {
+				nu, err = mapping.GreedyAllC(gc, topo)
+			} else {
+				nu, err = mapping.GreedyMin(gc, topo)
+			}
+			if err != nil {
+				return m, fmt.Errorf("experiments: greedy: %w", err)
+			}
+			assign = mapping.Compose(res.Part, nu)
+		}
+	}
+
+	m.CutBefore = mapping.Cut(ga, assign)
+	m.CocoBefore = mapping.Coco(ga, assign, topo)
+
+	t1 := time.Now()
+	res, err := core.Enhance(ga, topo, assign, core.Options{NumHierarchies: cfg.NH, Seed: seed})
+	if err != nil {
+		return m, fmt.Errorf("experiments: TIMER: %w", err)
+	}
+	m.TimerSeconds = time.Since(t1).Seconds()
+	m.CutAfter = mapping.Cut(ga, res.Assign)
+	m.CocoAfter = mapping.Coco(ga, res.Assign, topo)
+	return m, nil
+}
+
+// RunInstance executes all repetitions of one (network, topology, case)
+// combination and aggregates the quotients exactly as Section 7.1
+// describes: min/mean/max over repetitions, then after/before division.
+func RunInstance(name string, ga *graph.Graph, topo *topology.Topology, c Case, cfg Config) (*InstanceResult, error) {
+	cfg = cfg.withDefaults()
+	r := &InstanceResult{Network: name, Topo: topo.Name, Case: c}
+	var baseT, timerT []float64
+	var cutB, cutA, cocoB, cocoA []int64
+	for rep := 0; rep < cfg.Reps; rep++ {
+		seed := cfg.Seed + int64(rep)*7919 + int64(c)*104729
+		m, err := RunRep(ga, topo, c, cfg, seed)
+		if err != nil {
+			return nil, err
+		}
+		r.Reps = append(r.Reps, m)
+		baseT = append(baseT, m.BaseSeconds)
+		timerT = append(timerT, m.TimerSeconds)
+		cutB = append(cutB, m.CutBefore)
+		cutA = append(cutA, m.CutAfter)
+		cocoB = append(cocoB, m.CocoBefore)
+		cocoA = append(cocoA, m.CocoAfter)
+	}
+	r.BaseTime = metrics.Summarize(baseT)
+	r.TimerTime = metrics.Summarize(timerT)
+	r.CocoBefore = metrics.SummarizeInts(cocoB)
+	r.CocoAfter = metrics.SummarizeInts(cocoA)
+	r.QT = metrics.Quotient(r.TimerTime, r.BaseTime)
+	r.QCut = metrics.Quotient(metrics.SummarizeInts(cutA), metrics.SummarizeInts(cutB))
+	r.QCo = metrics.Quotient(r.CocoAfter, r.CocoBefore)
+	return r, nil
+}
+
+// SuiteResult aggregates instance results across the network suite for
+// one (topology, case): the geometric means and geometric standard
+// deviations the paper reports.
+type SuiteResult struct {
+	Topo string
+	Case Case
+
+	QT, QCut, QCo          metrics.Triple // geometric means
+	QTStd, QCutStd, QCoStd metrics.Triple // geometric standard deviations
+	Instances              []*InstanceResult
+}
+
+// Aggregate folds per-network instance results into a SuiteResult.
+func Aggregate(topoName string, c Case, instances []*InstanceResult) *SuiteResult {
+	var qt, qcut, qco metrics.TripleAgg
+	for _, r := range instances {
+		qt.Add(r.QT)
+		qcut.Add(r.QCut)
+		qco.Add(r.QCo)
+	}
+	return &SuiteResult{
+		Topo: topoName, Case: c,
+		QT: qt.GeoMean(), QCut: qcut.GeoMean(), QCo: qco.GeoMean(),
+		QTStd: qt.GeoStd(), QCutStd: qcut.GeoStd(), QCoStd: qco.GeoStd(),
+		Instances: instances,
+	}
+}
+
+// Suite bundles the generated networks with the harness configuration.
+type Suite struct {
+	Networks []netgen.Instance
+	Topos    []*topology.Topology
+	Cfg      Config
+}
+
+// NewSuite prepares the evaluation suite. scale shrinks the Table 1
+// networks (1.0 = paper size); maxV and maxE skip networks whose scaled
+// vertex/edge counts exceed the bounds (0 = no bound).
+func NewSuite(scale float64, maxV, maxE int, cfg Config) (*Suite, error) {
+	cfg = cfg.withDefaults()
+	nets := netgen.GenerateSuite(netgen.SuiteOption{Scale: scale, MaxVertices: maxV, MaxEdges: maxE, Seed: cfg.Seed})
+	if len(nets) == 0 {
+		return nil, fmt.Errorf("experiments: no networks at scale %g with maxV %d maxE %d", scale, maxV, maxE)
+	}
+	var topos []*topology.Topology
+	for _, pt := range topology.PaperTopologies() {
+		t, err := pt.Build()
+		if err != nil {
+			return nil, err
+		}
+		topos = append(topos, t)
+	}
+	return &Suite{Networks: nets, Topos: topos, Cfg: cfg}, nil
+}
+
+// RunCase evaluates one case over the full suite on every topology.
+func (s *Suite) RunCase(c Case, progress func(string)) ([]*SuiteResult, error) {
+	var out []*SuiteResult
+	for _, topo := range s.Topos {
+		var inst []*InstanceResult
+		for _, net := range s.Networks {
+			if net.G.N() <= topo.P() {
+				continue // cannot map fewer tasks than PEs
+			}
+			if progress != nil {
+				progress(fmt.Sprintf("%s / %s / %s", c, topo.Name, net.Spec.Name))
+			}
+			r, err := RunInstance(net.Spec.Name, net.G, topo, c, s.Cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s/%s: %w", c, topo.Name, net.Spec.Name, err)
+			}
+			inst = append(inst, r)
+		}
+		out = append(out, Aggregate(topo.Name, c, inst))
+	}
+	return out, nil
+}
+
+// PartitionTimes measures Table 3: partitioner running times for
+// |Vp| = 256 and 512 over the network suite.
+func (s *Suite) PartitionTimes(progress func(string)) ([]PartitionTiming, error) {
+	var out []PartitionTiming
+	for _, net := range s.Networks {
+		pt := PartitionTiming{Network: net.Spec.Name}
+		for i, k := range []int{256, 512} {
+			if net.G.N() <= k {
+				pt.Seconds[i] = 0
+				continue
+			}
+			t0 := time.Now()
+			if _, err := partition.Partition(net.G, partition.Config{K: k, Epsilon: s.Cfg.Epsilon, Seed: s.Cfg.Seed}); err != nil {
+				return nil, err
+			}
+			pt.Seconds[i] = time.Since(t0).Seconds()
+			if progress != nil {
+				progress(fmt.Sprintf("partition %s k=%d: %.3fs", net.Spec.Name, k, pt.Seconds[i]))
+			}
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// PartitionTiming is one row of Table 3.
+type PartitionTiming struct {
+	Network string
+	// Seconds[0] is k=256, Seconds[1] is k=512.
+	Seconds [2]float64
+}

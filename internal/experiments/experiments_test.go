@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/netgen"
+	"repro/internal/topology"
+)
+
+// smallCfg keeps harness tests fast.
+func smallCfg() Config {
+	return Config{Reps: 2, NH: 4, Epsilon: 0.03, Seed: 1}
+}
+
+func TestRunRepAllCases(t *testing.T) {
+	ga := netgen.Generate(netgen.RMAT, 600, 2400, 3)
+	topo, _ := topology.Grid(4, 4)
+	for _, c := range Cases() {
+		m, err := RunRep(ga, topo, c, smallCfg(), 5)
+		if err != nil {
+			t.Fatalf("%s: %v", c, err)
+		}
+		if m.CocoBefore <= 0 || m.CocoAfter <= 0 {
+			t.Errorf("%s: non-positive Coco %d -> %d", c, m.CocoBefore, m.CocoAfter)
+		}
+		if m.CocoAfter > m.CocoBefore {
+			t.Errorf("%s: TIMER worsened Coco: %d -> %d", c, m.CocoBefore, m.CocoAfter)
+		}
+		if m.BaseSeconds <= 0 || m.TimerSeconds <= 0 {
+			t.Errorf("%s: missing timings %+v", c, m)
+		}
+	}
+}
+
+func TestRunInstanceAggregation(t *testing.T) {
+	ga := netgen.Generate(netgen.BA, 500, 1500, 7)
+	topo, _ := topology.Hypercube(4)
+	r, err := RunInstance("test-net", ga, topo, C2Identity, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Reps) != 2 {
+		t.Fatalf("reps = %d, want 2", len(r.Reps))
+	}
+	if r.QCo.Mean > 1.0+1e-9 {
+		t.Errorf("mean Coco quotient %.4f > 1: TIMER worsened", r.QCo.Mean)
+	}
+	if r.QCo.Mean <= 0 {
+		t.Errorf("degenerate quotient %v", r.QCo)
+	}
+	if r.QT.Mean <= 0 {
+		t.Errorf("degenerate time quotient %v", r.QT)
+	}
+}
+
+func TestAggregateGeoMean(t *testing.T) {
+	a := &InstanceResult{QT: mkTriple(2), QCut: mkTriple(1), QCo: mkTriple(0.5)}
+	b := &InstanceResult{QT: mkTriple(8), QCut: mkTriple(1), QCo: mkTriple(0.125)}
+	sr := Aggregate("topo", C2Identity, []*InstanceResult{a, b})
+	if !approx(sr.QT.Mean, 4) {
+		t.Errorf("QT geomean = %v, want 4", sr.QT)
+	}
+	if !approx(sr.QCo.Mean, 0.25) {
+		t.Errorf("QCo geomean = %v, want 0.25", sr.QCo)
+	}
+}
+
+func mkTriple(x float64) metrics.Triple { return metrics.Triple{Min: x, Mean: x, Max: x} }
+
+func TestNewSuite(t *testing.T) {
+	s, err := NewSuite(0.002, 2000, 0, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Topos) != 5 {
+		t.Fatalf("topos = %d, want 5", len(s.Topos))
+	}
+	if len(s.Networks) == 0 {
+		t.Fatal("no networks generated")
+	}
+}
+
+func TestRunCaseAndPartitionTimes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite pass")
+	}
+	cfg := Config{Reps: 1, NH: 2, Epsilon: 0.03, Seed: 2}
+	// Scale chosen so the smallest networks still exceed the 256-PE
+	// topologies (smaller instances are skipped by RunCase).
+	s, err := NewSuite(0.06, 1500, 8000, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restrict to two topologies and two networks to keep the test fast.
+	s.Topos = s.Topos[:2]
+	if len(s.Networks) > 2 {
+		s.Networks = s.Networks[:2]
+	}
+	var progressCount int
+	rs, err := s.RunCase(C2Identity, func(string) { progressCount++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("results for %d topologies, want 2", len(rs))
+	}
+	if progressCount == 0 {
+		t.Error("progress callback never fired")
+	}
+	for _, sr := range rs {
+		if sr.Case != C2Identity {
+			t.Error("case mislabeled")
+		}
+		if len(sr.Instances) == 0 {
+			continue // all networks may be smaller than the PE count
+		}
+		if sr.QCo.Mean <= 0 || sr.QCo.Mean > 1.000001 {
+			t.Errorf("%s: suspicious Co quotient %v", sr.Topo, sr.QCo)
+		}
+	}
+	rows, err := s.PartitionTimes(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(s.Networks) {
+		t.Fatalf("%d timing rows for %d networks", len(rows), len(s.Networks))
+	}
+}
+
+func TestCaseStrings(t *testing.T) {
+	want := map[Case]string{
+		C1SCOTCH: "SCOTCH", C2Identity: "IDENTITY",
+		C3GreedyAllC: "GREEDYALLC", C4GreedyMin: "GREEDYMIN",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d: %q != %q", int(c), c.String(), s)
+		}
+	}
+	if len(Cases()) != 4 {
+		t.Error("Cases() must list c1..c4")
+	}
+}
+
+func TestReportWriters(t *testing.T) {
+	nets := netgen.GenerateSuite(netgen.SuiteOption{Scale: 0.002, MaxVertices: 1500, Seed: 1})
+	var buf bytes.Buffer
+	if err := WriteTable1(&buf, nets); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table 1") {
+		t.Error("missing header")
+	}
+
+	sr := &SuiteResult{Topo: "grid16x16", Case: C2Identity,
+		QT: mkTriple(0.5), QCut: mkTriple(1.05), QCo: mkTriple(0.85),
+		QCoStd: mkTriple(1.1)}
+	results := map[Case][]*SuiteResult{C2Identity: {sr}}
+	buf.Reset()
+	if err := WriteTable2(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "grid16x16") {
+		t.Error("table 2 missing topology row")
+	}
+	buf.Reset()
+	if err := WriteFigure5(&buf, C2Identity, []*SuiteResult{sr}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 5b") {
+		t.Errorf("figure header wrong: %s", buf.String())
+	}
+	buf.Reset()
+	rows := []PartitionTiming{{Network: "x", Seconds: [2]float64{1.5, 2.5}}}
+	if err := WriteTable3(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Geometric mean") {
+		t.Error("table 3 missing summary rows")
+	}
+	buf.Reset()
+	sr.Instances = []*InstanceResult{{Network: "x", QT: mkTriple(1), QCut: mkTriple(1), QCo: mkTriple(1)}}
+	if err := WriteInstanceCSV(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 2 {
+		t.Errorf("CSV has %d lines, want 2", lines)
+	}
+}
+
+func approx(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}

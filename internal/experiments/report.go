@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"repro/internal/metrics"
+	"repro/internal/netgen"
+)
+
+// WriteTable1 prints the network suite in the layout of the paper's
+// Table 1, annotated with the generated stand-in sizes.
+func WriteTable1(w io.Writer, nets []netgen.Instance) error {
+	fmt.Fprintln(w, "Table 1: Complex networks used for benchmarking.")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Name\tpaper #vertices\tpaper #edges\tgenerated #v\tgenerated #e\tmodel\tType")
+	for _, n := range nets {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%s\t%s\n",
+			n.Spec.Name, n.Spec.FullV, n.Spec.FullE, n.G.N(), n.G.M(), n.Spec.Model, n.Spec.Type)
+	}
+	return tw.Flush()
+}
+
+// WriteTable2 prints the running-time quotients in the layout of the
+// paper's Table 2: one row per topology, one 3-column group (qT min,
+// mean, max geometric means) per case.
+func WriteTable2(w io.Writer, results map[Case][]*SuiteResult) error {
+	fmt.Fprintln(w, "Table 2: Running time quotients per experimental case.")
+	fmt.Fprintln(w, "(c1 relative to the DRB/SCOTCH mapping time; c2-c4 relative to the partitioner.)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "topology")
+	for _, c := range Cases() {
+		fmt.Fprintf(tw, "\t%s qTmin\tqTmean\tqTmax", c)
+	}
+	fmt.Fprintln(tw)
+	for _, topoName := range topoOrder(results) {
+		fmt.Fprint(tw, topoName)
+		for _, c := range Cases() {
+			sr := findTopo(results[c], topoName)
+			if sr == nil {
+				fmt.Fprint(tw, "\t-\t-\t-")
+				continue
+			}
+			fmt.Fprintf(tw, "\t%.4f\t%.4f\t%.4f", sr.QT.Min, sr.QT.Mean, sr.QT.Max)
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// WriteFigure5 prints one subfigure of Figure 5 (quality results for a
+// case): for each topology, the geometric means of the Cut and Co
+// quotients (min/mean/max), with geometric standard deviations.
+func WriteFigure5(w io.Writer, c Case, results []*SuiteResult) error {
+	fmt.Fprintf(w, "Figure 5%c: quality quotients after TIMER on %s initial mappings.\n",
+		'a'+rune(int(c)), c)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "topology\tminCut\tCut\tmaxCut\tminCo\tCo\tmaxCo\tgsd(Co)")
+	for _, sr := range results {
+		fmt.Fprintf(tw, "%s\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\t%.3f\n",
+			sr.Topo,
+			sr.QCut.Min, sr.QCut.Mean, sr.QCut.Max,
+			sr.QCo.Min, sr.QCo.Mean, sr.QCo.Max,
+			sr.QCoStd.Mean)
+	}
+	return tw.Flush()
+}
+
+// WriteTable3 prints the partitioner timings in the layout of the
+// paper's Table 3 (appendix), including arithmetic and geometric means.
+func WriteTable3(w io.Writer, rows []PartitionTiming) error {
+	fmt.Fprintln(w, "Table 3: partitioner running times (seconds) for |Vp| = 256 and 512.")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Name\t|Vp|=256\t|Vp|=512")
+	sorted := append([]PartitionTiming(nil), rows...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Network < sorted[j].Network })
+	var c256, c512 []float64
+	for _, r := range sorted {
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\n", r.Network, r.Seconds[0], r.Seconds[1])
+		if r.Seconds[0] > 0 {
+			c256 = append(c256, r.Seconds[0])
+		}
+		if r.Seconds[1] > 0 {
+			c512 = append(c512, r.Seconds[1])
+		}
+	}
+	fmt.Fprintf(tw, "Arithmetic mean\t%.3f\t%.3f\n", metrics.ArithMean(c256), metrics.ArithMean(c512))
+	fmt.Fprintf(tw, "Geometric mean\t%.3f\t%.3f\n", metrics.GeoMean(c256), metrics.GeoMean(c512))
+	return tw.Flush()
+}
+
+// WriteInstanceCSV emits the raw per-instance quotients as CSV for
+// external plotting of Figure 5.
+func WriteInstanceCSV(w io.Writer, results map[Case][]*SuiteResult) error {
+	if _, err := fmt.Fprintln(w, "case,topology,network,qtmin,qtmean,qtmax,qcutmin,qcutmean,qcutmax,qcomin,qcomean,qcomax"); err != nil {
+		return err
+	}
+	for _, c := range Cases() {
+		for _, sr := range results[c] {
+			for _, inst := range sr.Instances {
+				fmt.Fprintf(w, "%s,%s,%s,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f\n",
+					c, sr.Topo, inst.Network,
+					inst.QT.Min, inst.QT.Mean, inst.QT.Max,
+					inst.QCut.Min, inst.QCut.Mean, inst.QCut.Max,
+					inst.QCo.Min, inst.QCo.Mean, inst.QCo.Max)
+			}
+		}
+	}
+	return nil
+}
+
+func topoOrder(results map[Case][]*SuiteResult) []string {
+	for _, c := range Cases() {
+		if len(results[c]) > 0 {
+			var names []string
+			for _, sr := range results[c] {
+				names = append(names, sr.Topo)
+			}
+			return names
+		}
+	}
+	return nil
+}
+
+func findTopo(srs []*SuiteResult, name string) *SuiteResult {
+	for _, sr := range srs {
+		if sr.Topo == name {
+			return sr
+		}
+	}
+	return nil
+}

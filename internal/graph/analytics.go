@@ -1,0 +1,86 @@
+package graph
+
+import "sort"
+
+// TriangleCount returns the number of triangles incident to v.
+func (g *Graph) TriangleCount(v int) int {
+	nbr, _ := g.Neighbors(v)
+	tri := 0
+	for i := 0; i < len(nbr); i++ {
+		for j := i + 1; j < len(nbr); j++ {
+			if g.HasEdge(int(nbr[i]), int(nbr[j])) {
+				tri++
+			}
+		}
+	}
+	return tri
+}
+
+// LocalClustering returns the local clustering coefficient of v: the
+// fraction of neighbor pairs that are themselves connected. Vertices of
+// degree < 2 have coefficient 0.
+func (g *Graph) LocalClustering(v int) float64 {
+	d := g.Degree(v)
+	if d < 2 {
+		return 0
+	}
+	return 2 * float64(g.TriangleCount(v)) / float64(d*(d-1))
+}
+
+// MeanClustering returns the average local clustering coefficient over
+// vertices of degree ≥ 2 — the standard small-world indicator used to
+// distinguish collaboration-style networks from web-style networks.
+// It is O(Σ deg(v)²·avgdeg) and intended for analysis, not hot loops.
+func (g *Graph) MeanClustering() float64 {
+	var sum float64
+	count := 0
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) < 2 {
+			continue
+		}
+		sum += g.LocalClustering(v)
+		count++
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+// DegreeHistogram returns the sorted distinct degrees and their counts.
+func (g *Graph) DegreeHistogram() (degrees []int, counts []int) {
+	hist := map[int]int{}
+	for v := 0; v < g.N(); v++ {
+		hist[g.Degree(v)]++
+	}
+	for d := range hist {
+		degrees = append(degrees, d)
+	}
+	sort.Ints(degrees)
+	counts = make([]int, len(degrees))
+	for i, d := range degrees {
+		counts[i] = hist[d]
+	}
+	return degrees, counts
+}
+
+// DegreePercentile returns the smallest degree d such that at least
+// frac of all vertices have degree ≤ d (frac in [0,1]).
+func (g *Graph) DegreePercentile(frac float64) int {
+	degs := make([]int, g.N())
+	for v := range degs {
+		degs[v] = g.Degree(v)
+	}
+	sort.Ints(degs)
+	if len(degs) == 0 {
+		return 0
+	}
+	idx := int(frac * float64(len(degs)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(degs) {
+		idx = len(degs) - 1
+	}
+	return degs[idx]
+}

@@ -1,0 +1,74 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTriangleCount(t *testing.T) {
+	k4 := Complete(4)
+	for v := 0; v < 4; v++ {
+		if tc := k4.TriangleCount(v); tc != 3 {
+			t.Errorf("K4 vertex %d: %d triangles, want 3", v, tc)
+		}
+	}
+	if tc := Cycle(5).TriangleCount(0); tc != 0 {
+		t.Errorf("C5: %d triangles, want 0", tc)
+	}
+	if tc := Star(6).TriangleCount(0); tc != 0 {
+		t.Errorf("star center: %d triangles, want 0", tc)
+	}
+}
+
+func TestLocalClustering(t *testing.T) {
+	if c := Complete(4).LocalClustering(0); c != 1 {
+		t.Errorf("K4 clustering = %f, want 1", c)
+	}
+	if c := Star(5).LocalClustering(0); c != 0 {
+		t.Errorf("star center clustering = %f, want 0", c)
+	}
+	if c := Path(2).LocalClustering(0); c != 0 {
+		t.Errorf("degree-1 clustering = %f, want 0", c)
+	}
+	// Triangle with a pendant: the pendant's neighbor has degree 3,
+	// one of three pairs connected.
+	g := FromEdgeList(4, [][2]int{{0, 1}, {1, 2}, {2, 0}, {0, 3}})
+	if c := g.LocalClustering(0); math.Abs(c-1.0/3) > 1e-12 {
+		t.Errorf("clustering = %f, want 1/3", c)
+	}
+}
+
+func TestMeanClustering(t *testing.T) {
+	if c := Complete(5).MeanClustering(); c != 1 {
+		t.Errorf("K5 mean clustering = %f, want 1", c)
+	}
+	if c := Cycle(8).MeanClustering(); c != 0 {
+		t.Errorf("C8 mean clustering = %f, want 0", c)
+	}
+	if c := Path(1).MeanClustering(); c != 0 {
+		t.Errorf("trivial graph mean clustering = %f, want 0", c)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	degrees, counts := Star(5).DegreeHistogram()
+	if len(degrees) != 2 || degrees[0] != 1 || degrees[1] != 4 {
+		t.Fatalf("degrees = %v", degrees)
+	}
+	if counts[0] != 4 || counts[1] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestDegreePercentile(t *testing.T) {
+	g := Star(10) // degrees: nine 1s, one 9
+	if d := g.DegreePercentile(0); d != 1 {
+		t.Errorf("p0 = %d, want 1", d)
+	}
+	if d := g.DegreePercentile(0.5); d != 1 {
+		t.Errorf("p50 = %d, want 1", d)
+	}
+	if d := g.DegreePercentile(1); d != 9 {
+		t.Errorf("p100 = %d, want 9", d)
+	}
+}

@@ -1,0 +1,182 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates edges and produces an immutable Graph.
+//
+// Duplicate edges are merged by summing their weights; self-loops are
+// silently dropped (they can never contribute to a cut or to Coco).
+// Vertex weights default to 1.
+type Builder struct {
+	n     int
+	us    []int32
+	vs    []int32
+	ws    []int64
+	vw    []int64
+	vwSet bool
+}
+
+// NewBuilder creates a builder for a graph with n vertices.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Builder{n: n}
+}
+
+// AddEdge records the undirected edge {u, v} with weight w.
+// Adding the same pair twice accumulates the weights.
+func (b *Builder) AddEdge(u, v int, w int64) *Builder {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: edge {%d,%d} out of range [0,%d)", u, v, b.n))
+	}
+	if w <= 0 {
+		panic(fmt.Sprintf("graph: edge {%d,%d} has non-positive weight %d", u, v, w))
+	}
+	if u == v {
+		return b // self-loop: drop
+	}
+	b.us = append(b.us, int32(u))
+	b.vs = append(b.vs, int32(v))
+	b.ws = append(b.ws, w)
+	return b
+}
+
+// SetVertexWeight assigns weight w to vertex v (default 1).
+func (b *Builder) SetVertexWeight(v int, w int64) *Builder {
+	if v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", v, b.n))
+	}
+	if w < 0 {
+		panic(fmt.Sprintf("graph: vertex %d has negative weight %d", v, w))
+	}
+	if !b.vwSet {
+		b.vw = make([]int64, b.n)
+		for i := range b.vw {
+			b.vw[i] = 1
+		}
+		b.vwSet = true
+	}
+	b.vw[v] = w
+	return b
+}
+
+// edgeRec is a directed half-edge used during construction.
+type edgeRec struct {
+	src, dst int32
+	w        int64
+}
+
+// Build finalizes the graph. The builder may not be reused afterwards.
+func (b *Builder) Build() *Graph {
+	n := b.n
+	// Materialize both directions, then sort and merge duplicates.
+	recs := make([]edgeRec, 0, 2*len(b.us))
+	for i := range b.us {
+		recs = append(recs,
+			edgeRec{b.us[i], b.vs[i], b.ws[i]},
+			edgeRec{b.vs[i], b.us[i], b.ws[i]})
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].src != recs[j].src {
+			return recs[i].src < recs[j].src
+		}
+		return recs[i].dst < recs[j].dst
+	})
+	// Merge duplicates in place.
+	out := recs[:0]
+	for _, r := range recs {
+		if len(out) > 0 && out[len(out)-1].src == r.src && out[len(out)-1].dst == r.dst {
+			out[len(out)-1].w += r.w
+			continue
+		}
+		out = append(out, r)
+	}
+	recs = out
+
+	g := &Graph{
+		xadj: make([]int32, n+1),
+		adj:  make([]int32, len(recs)),
+		ew:   make([]int64, len(recs)),
+		vw:   b.vw,
+		m:    len(recs) / 2,
+	}
+	if g.vw == nil {
+		g.vw = make([]int64, n)
+		for i := range g.vw {
+			g.vw[i] = 1
+		}
+	}
+	for i, r := range recs {
+		g.xadj[r.src+1]++
+		g.adj[i] = r.dst
+		g.ew[i] = r.w
+	}
+	for v := 0; v < n; v++ {
+		g.xadj[v+1] += g.xadj[v]
+	}
+	for _, w := range g.vw {
+		g.tvw += w
+	}
+	for i, r := range recs {
+		if r.src < r.dst {
+			g.tew += g.ew[i]
+		}
+	}
+	return g
+}
+
+// FromEdgeList builds an unweighted graph (all weights 1) over n vertices
+// from a list of endpoint pairs. It is a convenience for tests and
+// examples.
+func FromEdgeList(n int, edges [][2]int) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1], 1)
+	}
+	return b.Build()
+}
+
+// Path returns the path graph on n vertices (0-1-2-...-n-1).
+func Path(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 0; v+1 < n; v++ {
+		b.AddEdge(v, v+1, 1)
+	}
+	return b.Build()
+}
+
+// Cycle returns the cycle graph on n vertices.
+func Cycle(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 0; v+1 < n; v++ {
+		b.AddEdge(v, v+1, 1)
+	}
+	if n > 2 {
+		b.AddEdge(n-1, 0, 1)
+	}
+	return b.Build()
+}
+
+// Complete returns the complete graph on n vertices.
+func Complete(n int) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(u, v, 1)
+		}
+	}
+	return b.Build()
+}
+
+// Star returns the star graph with center 0 and n-1 leaves.
+func Star(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(0, v, 1)
+	}
+	return b.Build()
+}

@@ -1,0 +1,199 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// WriteMETIS writes g in the METIS/Chaco graph format used by KaHIP,
+// Metis and Scotch: first line "n m fmt", then one line per vertex
+// listing (1-based) neighbors. Edge weights are written when any edge
+// weight differs from 1; vertex weights likewise.
+func (g *Graph) WriteMETIS(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	hasEW, hasVW := false, false
+	for _, x := range g.ew {
+		if x != 1 {
+			hasEW = true
+			break
+		}
+	}
+	for _, x := range g.vw {
+		if x != 1 {
+			hasVW = true
+			break
+		}
+	}
+	format := "0"
+	switch {
+	case hasVW && hasEW:
+		format = "11"
+	case hasVW:
+		format = "10"
+	case hasEW:
+		format = "1"
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %s\n", g.N(), g.M(), format); err != nil {
+		return err
+	}
+	for v := 0; v < g.N(); v++ {
+		first := true
+		if hasVW {
+			fmt.Fprintf(bw, "%d", g.VertexWeight(v))
+			first = false
+		}
+		nbr, ew := g.Neighbors(v)
+		for i, u := range nbr {
+			if !first {
+				bw.WriteByte(' ')
+			}
+			first = false
+			fmt.Fprintf(bw, "%d", u+1)
+			if hasEW {
+				fmt.Fprintf(bw, " %d", ew[i])
+			}
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadMETIS parses a graph in METIS/Chaco format.
+func ReadMETIS(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	line, err := nextDataLine(sc)
+	if err != nil {
+		return nil, fmt.Errorf("graph: empty METIS input: %w", err)
+	}
+	header := strings.Fields(line)
+	if len(header) < 2 {
+		return nil, fmt.Errorf("graph: malformed METIS header %q", line)
+	}
+	n, err := strconv.Atoi(header[0])
+	if err != nil {
+		return nil, fmt.Errorf("graph: bad vertex count %q", header[0])
+	}
+	m, err := strconv.Atoi(header[1])
+	if err != nil {
+		return nil, fmt.Errorf("graph: bad edge count %q", header[1])
+	}
+	hasVW, hasEW := false, false
+	if len(header) >= 3 {
+		switch header[2] {
+		case "0", "00", "000":
+		case "1", "01", "001":
+			hasEW = true
+		case "10", "010":
+			hasVW = true
+		case "11", "011":
+			hasVW, hasEW = true, true
+		default:
+			return nil, fmt.Errorf("graph: unsupported METIS format code %q", header[2])
+		}
+	}
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		line, err := nextAdjacencyLine(sc)
+		if err != nil {
+			return nil, fmt.Errorf("graph: missing adjacency line for vertex %d: %w", v+1, err)
+		}
+		fields := strings.Fields(line)
+		i := 0
+		if hasVW {
+			if len(fields) == 0 {
+				return nil, fmt.Errorf("graph: vertex %d: missing weight", v+1)
+			}
+			w, err := strconv.ParseInt(fields[0], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: vertex %d: bad weight %q", v+1, fields[0])
+			}
+			b.SetVertexWeight(v, w)
+			i = 1
+		}
+		for i < len(fields) {
+			u, err := strconv.Atoi(fields[i])
+			if err != nil || u < 1 || u > n {
+				return nil, fmt.Errorf("graph: vertex %d: bad neighbor %q", v+1, fields[i])
+			}
+			i++
+			var w int64 = 1
+			if hasEW {
+				if i >= len(fields) {
+					return nil, fmt.Errorf("graph: vertex %d: missing edge weight", v+1)
+				}
+				w, err = strconv.ParseInt(fields[i], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("graph: vertex %d: bad edge weight %q", v+1, fields[i])
+				}
+				i++
+			}
+			if u-1 > v { // each undirected edge appears twice; add once
+				b.AddEdge(v, u-1, w)
+			}
+		}
+	}
+	g := b.Build()
+	if g.M() != m {
+		return nil, fmt.Errorf("graph: header claims %d edges, found %d", m, g.M())
+	}
+	return g, nil
+}
+
+// nextAdjacencyLine returns the next non-comment line. Blank lines are
+// returned as-is: they encode isolated vertices in the METIS format.
+func nextAdjacencyLine(sc *bufio.Scanner) (string, error) {
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "%") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		return line, nil
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.EOF
+}
+
+// nextDataLine returns the next line that is neither blank nor a comment.
+func nextDataLine(sc *bufio.Scanner) (string, error) {
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		return line, nil
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.EOF
+}
+
+// WriteMETISFile writes g to the named file in METIS format.
+func (g *Graph) WriteMETISFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := g.WriteMETIS(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadMETISFile reads a METIS-format graph from the named file.
+func ReadMETISFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadMETIS(f)
+}

@@ -1,0 +1,78 @@
+package graph
+
+import "fmt"
+
+// InducedSubgraph returns the subgraph induced by the given vertices
+// (which must be distinct) and a mapping old-vertex -> new-vertex that is
+// -1 for vertices not in the subgraph. Vertex and edge weights carry over.
+func (g *Graph) InducedSubgraph(vertices []int32) (*Graph, []int32) {
+	remap := make([]int32, g.N())
+	for i := range remap {
+		remap[i] = -1
+	}
+	for newID, v := range vertices {
+		if remap[v] != -1 {
+			panic(fmt.Sprintf("graph: duplicate vertex %d in induced subgraph", v))
+		}
+		remap[v] = int32(newID)
+	}
+	b := NewBuilder(len(vertices))
+	for newID, v := range vertices {
+		b.SetVertexWeight(newID, g.VertexWeight(int(v)))
+		nbr, ew := g.Neighbors(int(v))
+		for i, u := range nbr {
+			nu := remap[u]
+			if nu >= 0 && nu > int32(newID) {
+				b.AddEdge(newID, int(nu), ew[i])
+			}
+		}
+	}
+	return b.Build(), remap
+}
+
+// Quotient contracts g according to the block assignment part (vertex ->
+// block id in [0, k)). The result has k vertices; vertex weights are block
+// weight sums and edge weights aggregate the weights of all original edges
+// between different blocks. This is exactly the construction of the
+// communication graph Gc from a partition of Ga (paper Figure 1a/1b).
+//
+// Blocks may be empty; empty blocks become isolated vertices with weight 0.
+func (g *Graph) Quotient(part []int32, k int) *Graph {
+	if len(part) != g.N() {
+		panic(fmt.Sprintf("graph: partition length %d, want %d", len(part), g.N()))
+	}
+	type key struct{ a, b int32 }
+	agg := make(map[key]int64)
+	vw := make([]int64, k)
+	for v := 0; v < g.N(); v++ {
+		pv := part[v]
+		if pv < 0 || int(pv) >= k {
+			panic(fmt.Sprintf("graph: block id %d of vertex %d out of range [0,%d)", pv, v, k))
+		}
+		vw[pv] += g.VertexWeight(v)
+		nbr, ew := g.Neighbors(v)
+		for i, u := range nbr {
+			pu := part[u]
+			if pu <= pv { // count each unordered block pair once, skip intra-block
+				continue
+			}
+			agg[key{pv, pu}] += ew[i]
+		}
+	}
+	b := NewBuilder(k)
+	for v := 0; v < k; v++ {
+		b.SetVertexWeight(v, vw[v])
+	}
+	for e, w := range agg {
+		b.AddEdge(int(e.a), int(e.b), w)
+	}
+	return b.Build()
+}
+
+// ContractPairs merges vertices according to coarse (fine vertex -> coarse
+// vertex id in [0, nCoarse)), summing vertex weights and aggregating edge
+// weights; intra-group edges vanish. It is Quotient with a clearer name
+// for coarsening call sites.
+func (g *Graph) ContractPairs(coarse []int32, nCoarse int) *Graph {
+	return g.Quotient(coarse, nCoarse)
+}

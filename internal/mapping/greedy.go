@@ -1,0 +1,142 @@
+package mapping
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// GreedyAllC maps the communication graph gc onto topo (case c3; the
+// best-performing greedy of Glantz/Meyerhenke/Noe [11], implemented from
+// its description). It repeatedly picks
+//
+//	(a) the unmapped vertex vc with maximal total communication volume
+//	    to all already-mapped vertices, and
+//	(b) the free PE vp with minimal total distance to all already-used
+//	    PEs (ties broken by distance to the PE of vc's heaviest mapped
+//	    neighbor).
+//
+// The first vertex is the one with the largest weighted degree; the
+// first PE is a center of Gp (minimal total distance to all PEs).
+// gc must have exactly topo.P() vertices; the result is the bijection
+// ν : Vc → Vp.
+func GreedyAllC(gc *graph.Graph, topo *topology.Topology) ([]int32, error) {
+	return greedyConstruct(gc, topo, true)
+}
+
+// GreedyMin maps gc onto topo following the construct method of
+// Brandfass et al. as used by LibTopoMap (case c4, named GREEDYMIN in
+// the paper): the next vertex is chosen as in GreedyAllC, but it is
+// placed on the free PE with minimal distance to the PE of its most
+// strongly connected already-mapped neighbor ("one" instead of "all").
+func GreedyMin(gc *graph.Graph, topo *topology.Topology) ([]int32, error) {
+	return greedyConstruct(gc, topo, false)
+}
+
+func greedyConstruct(gc *graph.Graph, topo *topology.Topology, all bool) ([]int32, error) {
+	p := topo.P()
+	if gc.N() != p {
+		return nil, fmt.Errorf("mapping: communication graph has %d vertices, topology has %d PEs", gc.N(), p)
+	}
+	nu := make([]int32, p)
+	for i := range nu {
+		nu[i] = -1
+	}
+	peUsed := make([]bool, p)
+	// commToMapped[vc] = total edge weight from vc to already-mapped
+	// vertices; -1 marks mapped vertices.
+	commToMapped := make([]int64, p)
+	// sumDistToUsed[vp] = Σ over used PEs of d(vp, ·), maintained
+	// incrementally (O(P) per placement).
+	sumDistToUsed := make([]int64, p)
+
+	place := func(vc int, vp int) {
+		nu[vc] = int32(vp)
+		peUsed[vp] = true
+		commToMapped[vc] = -1
+		nbr, ew := gc.Neighbors(vc)
+		for i, u := range nbr {
+			if commToMapped[u] >= 0 {
+				commToMapped[u] += ew[i]
+			}
+		}
+		for q := 0; q < p; q++ {
+			sumDistToUsed[q] += int64(topo.Distance(q, vp))
+		}
+	}
+
+	// Seed: heaviest communicator onto a center of the topology.
+	vc0, vp0 := 0, 0
+	var bestW int64 = -1
+	for v := 0; v < p; v++ {
+		if w := gc.WeightedDegree(v); w > bestW {
+			bestW, vc0 = w, v
+		}
+	}
+	var bestD int64 = -1
+	for q := 0; q < p; q++ {
+		var s int64
+		for r := 0; r < p; r++ {
+			s += int64(topo.Distance(q, r))
+		}
+		if bestD < 0 || s < bestD {
+			bestD, vp0 = s, q
+		}
+	}
+	place(vc0, vp0)
+
+	for step := 1; step < p; step++ {
+		// (a) unmapped vertex with max communication to mapped set.
+		vc := -1
+		var bestComm int64 = -1
+		for v := 0; v < p; v++ {
+			if commToMapped[v] < 0 {
+				continue
+			}
+			c := commToMapped[v]
+			if c > bestComm || (c == bestComm && vc >= 0 && gc.WeightedDegree(v) > gc.WeightedDegree(vc)) {
+				bestComm, vc = c, v
+			}
+		}
+		if vc < 0 {
+			break // defensive; cannot happen while step < p
+		}
+		// Heaviest mapped neighbor's PE, used by GreedyMin and as the
+		// AllC tiebreaker.
+		anchor := -1
+		var anchorW int64 = -1
+		nbr, ew := gc.Neighbors(vc)
+		for i, u := range nbr {
+			if commToMapped[u] < 0 && ew[i] > anchorW {
+				anchorW = ew[i]
+				anchor = int(nu[u])
+			}
+		}
+		// (b) choose the PE.
+		vp := -1
+		var primary, secondary int64
+		for q := 0; q < p; q++ {
+			if peUsed[q] {
+				continue
+			}
+			var pri, sec int64
+			if all {
+				pri = sumDistToUsed[q]
+				if anchor >= 0 {
+					sec = int64(topo.Distance(q, anchor))
+				}
+			} else {
+				if anchor >= 0 {
+					pri = int64(topo.Distance(q, anchor))
+				}
+				sec = sumDistToUsed[q]
+			}
+			if vp < 0 || pri < primary || (pri == primary && sec < secondary) {
+				vp, primary, secondary = q, pri, sec
+			}
+		}
+		place(vc, vp)
+	}
+	return nu, nil
+}

@@ -1,0 +1,86 @@
+package mapping
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// Report bundles the quality metrics of one mapping.
+type Report struct {
+	// Coco is the paper's hop-byte objective (Eq. (3)).
+	Coco int64
+	// Cut is the weight of inter-PE application edges.
+	Cut int64
+	// Dilation is the maximum hop distance of any communicating pair.
+	Dilation int
+	// AvgHops is Coco divided by the total weight of inter-PE edges —
+	// the mean distance a unit of communication travels.
+	AvgHops float64
+	// MaxCutTraffic and AvgCutTraffic summarize the per-convex-cut
+	// traffic (see CutTraffic): a congestion proxy unique to partial
+	// cubes, since shortest-path routing crosses each convex cut of Gp
+	// exactly once per differing label digit.
+	MaxCutTraffic int64
+	AvgCutTraffic float64
+}
+
+// Evaluate computes a full quality report for a mapping.
+func Evaluate(ga *graph.Graph, assign []int32, topo *topology.Topology) Report {
+	r := Report{
+		Coco: Coco(ga, assign, topo),
+		Cut:  Cut(ga, assign),
+	}
+	r.Dilation = Dilation(ga, assign, topo)
+	if r.Cut > 0 {
+		r.AvgHops = float64(r.Coco) / float64(r.Cut)
+	}
+	traffic := CutTraffic(ga, assign, topo)
+	var total int64
+	for _, t := range traffic {
+		total += t
+		if t > r.MaxCutTraffic {
+			r.MaxCutTraffic = t
+		}
+	}
+	if len(traffic) > 0 {
+		r.AvgCutTraffic = float64(total) / float64(len(traffic))
+	}
+	return r
+}
+
+// CutTraffic returns, for each convex cut (θ-class / label digit) of the
+// processor graph, the total application communication that must cross
+// it: Σ over edges {u,v} of ωa(u,v) summed over the digits where the
+// PE labels of u and v differ. Because Gp is a partial cube, every
+// shortest route between two PEs crosses exactly the convex cuts whose
+// digits differ, so this is routing-independent — the same reason the
+// Hamming distance computes Coco (paper Section 2). The sum over all
+// cuts equals Coco.
+func CutTraffic(ga *graph.Graph, assign []int32, topo *topology.Topology) []int64 {
+	traffic := make([]int64, topo.Dim)
+	labels := topo.Labels
+	for v := 0; v < ga.N(); v++ {
+		lv := labels[assign[v]]
+		nbr, ew := ga.Neighbors(v)
+		for i, u := range nbr {
+			if int(u) <= v {
+				continue
+			}
+			diff := uint64(lv ^ labels[assign[u]])
+			for diff != 0 {
+				traffic[bits.TrailingZeros64(diff)] += ew[i]
+				diff &= diff - 1
+			}
+		}
+	}
+	return traffic
+}
+
+// String renders the report in one line.
+func (r Report) String() string {
+	return fmt.Sprintf("Coco=%d Cut=%d dilation=%d avgHops=%.2f maxCutTraffic=%d",
+		r.Coco, r.Cut, r.Dilation, r.AvgHops, r.MaxCutTraffic)
+}

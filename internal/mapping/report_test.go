@@ -1,0 +1,92 @@
+package mapping
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+func TestCutTrafficSumsToCoco(t *testing.T) {
+	// Property: total traffic over all convex cuts equals Coco, because
+	// each differing label digit contributes exactly one hop.
+	rng := rand.New(rand.NewSource(3))
+	topos := []*topology.Topology{}
+	for _, mk := range []func() (*topology.Topology, error){
+		func() (*topology.Topology, error) { return topology.Grid(4, 4) },
+		func() (*topology.Topology, error) { return topology.Torus(4, 6) },
+		func() (*topology.Topology, error) { return topology.Hypercube(4) },
+	} {
+		tp, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		topos = append(topos, tp)
+	}
+	for _, tp := range topos {
+		for trial := 0; trial < 5; trial++ {
+			ga := randomGraph(100, 300, rng.Int63())
+			assign := make([]int32, ga.N())
+			for v := range assign {
+				assign[v] = int32(rng.Intn(tp.P()))
+			}
+			traffic := CutTraffic(ga, assign, tp)
+			if len(traffic) != tp.Dim {
+				t.Fatalf("%s: %d traffic entries, want %d", tp.Name, len(traffic), tp.Dim)
+			}
+			var sum int64
+			for _, x := range traffic {
+				sum += x
+			}
+			if want := Coco(ga, assign, tp); sum != want {
+				t.Fatalf("%s: traffic sum %d != Coco %d", tp.Name, sum, want)
+			}
+		}
+	}
+}
+
+func TestEvaluateReport(t *testing.T) {
+	tp, _ := topology.Grid(2, 2)
+	ga := line(4)
+	assign := []int32{0, 0, 3, 3} // one edge crosses at distance 2
+	r := Evaluate(ga, assign, tp)
+	if r.Coco != 2 || r.Cut != 1 || r.Dilation != 2 {
+		t.Errorf("report = %+v", r)
+	}
+	if r.AvgHops != 2 {
+		t.Errorf("AvgHops = %f, want 2", r.AvgHops)
+	}
+	// Distance-2 edge crosses both convex cuts once each.
+	if r.MaxCutTraffic != 1 || r.AvgCutTraffic != 1 {
+		t.Errorf("traffic stats wrong: %+v", r)
+	}
+	if r.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestEvaluateBalancedTrafficBeatsSkewed(t *testing.T) {
+	// Two mappings with equal Coco can stress cuts differently; the
+	// report must expose that. On a path topology 0-1-2-3 (3 cuts),
+	// concentrate all traffic on the middle cut vs spread it out.
+	tp, err := topology.Grid(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(2, 3, 1)
+	b.AddEdge(4, 5, 1)
+	ga := b.Build()
+	skewed := []int32{1, 2, 1, 2, 1, 2} // all three edges cross middle cut
+	spread := []int32{0, 1, 1, 2, 2, 3} // one edge per cut
+	rs := Evaluate(ga, skewed, tp)
+	rp := Evaluate(ga, spread, tp)
+	if rs.Coco != rp.Coco {
+		t.Fatalf("setup broken: Coco %d vs %d", rs.Coco, rp.Coco)
+	}
+	if rs.MaxCutTraffic <= rp.MaxCutTraffic {
+		t.Errorf("skewed max traffic %d should exceed spread %d", rs.MaxCutTraffic, rp.MaxCutTraffic)
+	}
+}

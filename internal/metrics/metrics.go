@@ -1,0 +1,147 @@
+// Package metrics implements the paper's evaluation arithmetic (Section
+// 7.1): per-instance min/mean/max over repeated runs, after/before
+// quotients, and geometric means with geometric standard deviations
+// across the application-graph suite.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Triple summarizes repeated measurements by minimum, arithmetic mean
+// and maximum — the paper computes exactly these three statistics over
+// its 5 repetitions.
+type Triple struct {
+	Min, Mean, Max float64
+}
+
+// Summarize computes the Triple of a non-empty sample.
+func Summarize(xs []float64) Triple {
+	if len(xs) == 0 {
+		return Triple{}
+	}
+	t := Triple{Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		if x < t.Min {
+			t.Min = x
+		}
+		if x > t.Max {
+			t.Max = x
+		}
+		sum += x
+	}
+	t.Mean = sum / float64(len(xs))
+	return t
+}
+
+// SummarizeInts is Summarize for integer samples (cuts, Coco values).
+func SummarizeInts(xs []int64) Triple {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return Summarize(fs)
+}
+
+// Quotient divides componentwise: min by min, mean by mean, max by max —
+// the paper's q-values. Note that qMin can exceed qMean or qMax, which
+// the paper points out explicitly; the quotient of two Triples is not a
+// Triple of a sample.
+func Quotient(after, before Triple) Triple {
+	return Triple{
+		Min:  safeDiv(after.Min, before.Min),
+		Mean: safeDiv(after.Mean, before.Mean),
+		Max:  safeDiv(after.Max, before.Max),
+	}
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return a / b
+}
+
+// GeoMean returns the geometric mean of positive values.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// GeoStd returns the geometric standard deviation of positive values:
+// exp of the standard deviation of the logs. It equals 1 for constant
+// samples and grows multiplicatively with spread; the paper reports it
+// as the variance indicator over the normalized per-graph results.
+func GeoStd(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	gm := GeoMean(xs)
+	if math.IsNaN(gm) {
+		return math.NaN()
+	}
+	var ss float64
+	for _, x := range xs {
+		d := math.Log(x / gm)
+		ss += d * d
+	}
+	return math.Exp(math.Sqrt(ss / float64(len(xs))))
+}
+
+// ArithMean returns the arithmetic mean.
+func ArithMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// TripleAgg accumulates Triples across instances and reports
+// componentwise geometric means and geometric standard deviations — the
+// qX^gm values of the paper's tables.
+type TripleAgg struct {
+	mins, means, maxs []float64
+}
+
+// Add records one instance's Triple.
+func (a *TripleAgg) Add(t Triple) {
+	a.mins = append(a.mins, t.Min)
+	a.means = append(a.means, t.Mean)
+	a.maxs = append(a.maxs, t.Max)
+}
+
+// N returns the number of accumulated instances.
+func (a *TripleAgg) N() int { return len(a.mins) }
+
+// GeoMean returns the componentwise geometric mean.
+func (a *TripleAgg) GeoMean() Triple {
+	return Triple{Min: GeoMean(a.mins), Mean: GeoMean(a.means), Max: GeoMean(a.maxs)}
+}
+
+// GeoStd returns the componentwise geometric standard deviation.
+func (a *TripleAgg) GeoStd() Triple {
+	return Triple{Min: GeoStd(a.mins), Mean: GeoStd(a.means), Max: GeoStd(a.maxs)}
+}
+
+// String formats a Triple compactly.
+func (t Triple) String() string {
+	return fmt.Sprintf("min=%.5g mean=%.5g max=%.5g", t.Min, t.Mean, t.Max)
+}

@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestSummarize(t *testing.T) {
+	tr := Summarize([]float64{3, 1, 2})
+	if tr.Min != 1 || tr.Max != 3 || !approx(tr.Mean, 2) {
+		t.Errorf("got %+v", tr)
+	}
+	if z := Summarize(nil); z.Min != 0 || z.Mean != 0 || z.Max != 0 {
+		t.Errorf("empty sample should give zero Triple, got %+v", z)
+	}
+	ti := SummarizeInts([]int64{10, 20, 60})
+	if ti.Min != 10 || ti.Max != 60 || !approx(ti.Mean, 30) {
+		t.Errorf("got %+v", ti)
+	}
+}
+
+func TestQuotient(t *testing.T) {
+	q := Quotient(Triple{1, 2, 3}, Triple{2, 4, 6})
+	if !approx(q.Min, 0.5) || !approx(q.Mean, 0.5) || !approx(q.Max, 0.5) {
+		t.Errorf("got %+v", q)
+	}
+	// Division by zero handling.
+	q = Quotient(Triple{0, 1, 2}, Triple{0, 0, 1})
+	if q.Min != 1 || !math.IsInf(q.Mean, 1) || q.Max != 2 {
+		t.Errorf("got %+v", q)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); !approx(g, 4) {
+		t.Errorf("GeoMean(2,8) = %g, want 4", g)
+	}
+	if g := GeoMean([]float64{5}); !approx(g, 5) {
+		t.Errorf("GeoMean(5) = %g, want 5", g)
+	}
+	if !math.IsNaN(GeoMean(nil)) {
+		t.Error("GeoMean(nil) should be NaN")
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -1})) {
+		t.Error("GeoMean with negative input should be NaN")
+	}
+}
+
+func TestGeoStd(t *testing.T) {
+	if g := GeoStd([]float64{3, 3, 3}); !approx(g, 1) {
+		t.Errorf("GeoStd(const) = %g, want 1", g)
+	}
+	g := GeoStd([]float64{1, 4})
+	// logs: 0, ln4; gm = 2; deviations ±ln2 -> std = ln2 -> exp = 2.
+	if !approx(g, 2) {
+		t.Errorf("GeoStd(1,4) = %g, want 2", g)
+	}
+}
+
+func TestArithMean(t *testing.T) {
+	if m := ArithMean([]float64{1, 2, 3}); !approx(m, 2) {
+		t.Errorf("got %g", m)
+	}
+	if !math.IsNaN(ArithMean(nil)) {
+		t.Error("ArithMean(nil) should be NaN")
+	}
+}
+
+func TestTripleAgg(t *testing.T) {
+	var agg TripleAgg
+	agg.Add(Triple{1, 2, 4})
+	agg.Add(Triple{4, 8, 16})
+	if agg.N() != 2 {
+		t.Fatalf("N = %d", agg.N())
+	}
+	gm := agg.GeoMean()
+	if !approx(gm.Min, 2) || !approx(gm.Mean, 4) || !approx(gm.Max, 8) {
+		t.Errorf("GeoMean = %+v", gm)
+	}
+	gs := agg.GeoStd()
+	if !approx(gs.Min, 2) || !approx(gs.Mean, 2) || !approx(gs.Max, 2) {
+		t.Errorf("GeoStd = %+v", gs)
+	}
+}
+
+// Property: GeoMean lies between min and max; Summarize respects order.
+func TestGeoMeanBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, r := range raw {
+			x := math.Abs(r)
+			// Keep magnitudes where exp/log round-trips are well behaved;
+			// at 1e±308 a one-ulp error in exp() can poke past max.
+			if x > 1e-9 && x < 1e9 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		g := GeoMean(xs)
+		return g >= s.Min-1e-9 && g <= s.Max+1e-9 && s.Min <= s.Mean && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quotients are scale-invariant — scaling both sides leaves
+// the quotient unchanged.
+func TestQuotientScaleInvariant(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		s := math.Mod(math.Abs(c), 100) + 0.5
+		a = math.Mod(math.Abs(a), 1e6)
+		b = math.Mod(math.Abs(b), 1e6)
+		before := Triple{math.Abs(a) + 1, math.Abs(a) + 2, math.Abs(a) + 3}
+		after := Triple{math.Abs(b) + 1, math.Abs(b) + 2, math.Abs(b) + 3}
+		q1 := Quotient(after, before)
+		q2 := Quotient(
+			Triple{after.Min * s, after.Mean * s, after.Max * s},
+			Triple{before.Min * s, before.Mean * s, before.Max * s})
+		return approxRel(q1.Min, q2.Min) && approxRel(q1.Mean, q2.Mean) && approxRel(q1.Max, q2.Max)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func approxRel(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))+1e-12
+}

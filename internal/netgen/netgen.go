@@ -1,0 +1,270 @@
+// Package netgen generates synthetic complex networks standing in for
+// the 15 SNAP/DIMACS instances of the paper's Table 1 (see DESIGN.md:
+// the originals are external datasets; these generators reproduce their
+// type — skewed degree distributions, low diameter, community structure —
+// and their |V|/|E| shape at a configurable scale).
+//
+// All generators are deterministic in the seed and return connected
+// graphs (the largest component is extracted, which is also how
+// PGPgiantcompo was derived from the raw PGP network).
+package netgen
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Model names a random-graph family.
+type Model int
+
+const (
+	// RMAT is the recursive matrix model (Chakrabarti et al.): skewed,
+	// power-law-ish networks such as web graphs, citation and
+	// communication networks.
+	RMAT Model = iota
+	// BA is Barabási–Albert preferential attachment: heavy-tailed
+	// networks grown by attachment, such as internet topologies.
+	BA
+	// WS is Watts–Strogatz small world: high clustering with shortcuts,
+	// resembling collaboration networks.
+	WS
+	// GEO is a random geometric graph with long-range shortcuts:
+	// spatially embedded networks such as location-based friendship
+	// graphs (each vertex gets a point in the unit square; most edges
+	// connect near neighbors, a small fraction are distance-independent).
+	GEO
+)
+
+func (m Model) String() string {
+	switch m {
+	case RMAT:
+		return "rmat"
+	case BA:
+		return "ba"
+	case WS:
+		return "ws"
+	case GEO:
+		return "geo"
+	default:
+		return "unknown"
+	}
+}
+
+// Generate builds a network of the given model with roughly n vertices
+// and m undirected edges (the largest connected component of the raw
+// sample, so exact counts vary slightly).
+func Generate(model Model, n, m int, seed int64) *graph.Graph {
+	if n < 2 {
+		n = 2
+	}
+	if m < n-1 {
+		m = n - 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var g *graph.Graph
+	switch model {
+	case RMAT:
+		g = rmat(n, m, rng)
+	case BA:
+		g = ba(n, m, rng)
+	case WS:
+		g = ws(n, m, rng)
+	case GEO:
+		g = geo(n, m, rng)
+	default:
+		panic("netgen: unknown model")
+	}
+	lc, _ := g.LargestComponent()
+	return lc
+}
+
+// rmat samples m edges from the R-MAT distribution with the canonical
+// parameters (a,b,c,d) = (0.57, 0.19, 0.19, 0.05).
+func rmat(n, m int, rng *rand.Rand) *graph.Graph {
+	levels := 0
+	for 1<<levels < n {
+		levels++
+	}
+	size := 1 << levels
+	b := graph.NewBuilder(size)
+	const (
+		pa = 0.57
+		pb = 0.19
+		pc = 0.19
+	)
+	attempts := 0
+	for added := 0; added < m && attempts < 8*m; attempts++ {
+		u, v := 0, 0
+		for l := 0; l < levels; l++ {
+			r := rng.Float64()
+			switch {
+			case r < pa:
+				// upper-left: no bits set
+			case r < pa+pb:
+				v |= 1 << l
+			case r < pa+pb+pc:
+				u |= 1 << l
+			default:
+				u |= 1 << l
+				v |= 1 << l
+			}
+		}
+		if u != v && u < size && v < size {
+			b.AddEdge(u, v, 1)
+			added++
+		}
+	}
+	return b.Build()
+}
+
+// ba grows a Barabási–Albert graph: each new vertex attaches to
+// d ≈ m/n distinct existing vertices chosen preferentially by degree.
+func ba(n, m int, rng *rand.Rand) *graph.Graph {
+	d := m / n
+	if d < 1 {
+		d = 1
+	}
+	b := graph.NewBuilder(n)
+	// endpoints holds one entry per half-edge: sampling uniformly from it
+	// is degree-proportional sampling.
+	endpoints := make([]int32, 0, 2*m+2)
+	b.AddEdge(0, 1, 1)
+	endpoints = append(endpoints, 0, 1)
+	for v := 2; v < n; v++ {
+		k := d
+		if k > v {
+			k = v
+		}
+		chosen := make(map[int32]bool, k)
+		for len(chosen) < k {
+			var u int32
+			if rng.Float64() < 0.1 { // uniform escape keeps the tail honest
+				u = int32(rng.Intn(v))
+			} else {
+				u = endpoints[rng.Intn(len(endpoints))]
+			}
+			if int(u) != v {
+				chosen[u] = true
+			}
+		}
+		for u := range chosen {
+			b.AddEdge(v, int(u), 1)
+			endpoints = append(endpoints, int32(v), u)
+		}
+	}
+	return b.Build()
+}
+
+// geo builds a spatial network: vertices are random points in the unit
+// square connected to their nearest neighbors via a cell grid, plus a
+// small fraction (10%) of uniform long-range shortcuts — the structure
+// of location-based friendship networks (most ties are local, a few
+// span continents).
+func geo(n, m int, rng *rand.Rand) *graph.Graph {
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	// Cell grid sized so each cell holds a handful of points.
+	cells := 1
+	for cells*cells*4 < n {
+		cells++
+	}
+	grid := make([][]int32, cells*cells)
+	cellOf := func(x, y float64) int {
+		cx := int(x * float64(cells))
+		cy := int(y * float64(cells))
+		if cx >= cells {
+			cx = cells - 1
+		}
+		if cy >= cells {
+			cy = cells - 1
+		}
+		return cy*cells + cx
+	}
+	for v := 0; v < n; v++ {
+		c := cellOf(xs[v], ys[v])
+		grid[c] = append(grid[c], int32(v))
+	}
+	b := graph.NewBuilder(n)
+	local := m - m/10
+	added := 0
+	// Local edges: connect each vertex to nearby vertices in its own and
+	// adjacent cells, closest candidates first, round-robin over vertices
+	// until the local budget is exhausted.
+	perVertex := local/n + 1
+	for v := 0; v < n && added < local; v++ {
+		c := cellOf(xs[v], ys[v])
+		ccx, ccy := c%cells, c/cells
+		type cand struct {
+			u int32
+			d float64
+		}
+		var cands []cand
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				nx, ny := ccx+dx, ccy+dy
+				if nx < 0 || ny < 0 || nx >= cells || ny >= cells {
+					continue
+				}
+				for _, u := range grid[ny*cells+nx] {
+					if int(u) == v {
+						continue
+					}
+					ddx, ddy := xs[u]-xs[v], ys[u]-ys[v]
+					cands = append(cands, cand{u, ddx*ddx + ddy*ddy})
+				}
+			}
+		}
+		// Partial selection of the closest perVertex candidates.
+		for k := 0; k < perVertex && k < len(cands); k++ {
+			best := k
+			for j := k + 1; j < len(cands); j++ {
+				if cands[j].d < cands[best].d {
+					best = j
+				}
+			}
+			cands[k], cands[best] = cands[best], cands[k]
+			b.AddEdge(v, int(cands[k].u), 1)
+			added++
+		}
+	}
+	// Long-range shortcuts.
+	for i := 0; i < m/10; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			b.AddEdge(u, v, 1)
+		}
+	}
+	return b.Build()
+}
+
+// ws builds a Watts–Strogatz small world: a ring lattice where each
+// vertex connects to its k ≈ m/n nearest neighbors on each side... with
+// k chosen so the edge count matches m, then a fraction beta of edges is
+// rewired to random endpoints.
+func ws(n, m int, rng *rand.Rand) *graph.Graph {
+	k := m / n // neighbors on each side
+	if k < 1 {
+		k = 1
+	}
+	const beta = 0.1
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for j := 1; j <= k; j++ {
+			u := (v + j) % n
+			if rng.Float64() < beta {
+				// rewire to a uniform random endpoint
+				u = rng.Intn(n)
+				if u == v {
+					u = (v + 1) % n
+				}
+			}
+			b.AddEdge(v, u, 1)
+		}
+	}
+	return b.Build()
+}

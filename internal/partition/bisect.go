@@ -1,0 +1,236 @@
+package partition
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// multilevelBisect splits g into sides 0/1 where side 0 receives
+// approximately fracL of the total vertex weight, within (1+epsBis)
+// slack on both sides. Returns the side assignment.
+func multilevelBisect(g *graph.Graph, cfg Config, rng *rand.Rand, fracL, epsBis float64) []int32 {
+	total := g.TotalVertexWeight()
+	targetL := int64(math.Round(fracL * float64(total)))
+	hiL := int64(math.Floor((1 + epsBis) * float64(targetL)))
+	hiR := int64(math.Floor((1 + epsBis) * float64(total-targetL)))
+	loL := total - hiR
+	// With lumpy vertex weights an ε-window can be unreachable; widen it
+	// to always admit a split within one max-weight vertex of the target.
+	// Global balance is restored by enforceBalance after recursion.
+	var maxVW int64 = 1
+	for v := 0; v < g.N(); v++ {
+		if w := g.VertexWeight(v); w > maxVW {
+			maxVW = w
+		}
+	}
+	if hiL < targetL+maxVW {
+		hiL = targetL + maxVW
+	}
+	if loL > targetL-maxVW {
+		loL = targetL - maxVW
+	}
+	if hiL >= total {
+		hiL = total - 1
+	}
+	if loL < 1 {
+		loL = 1
+	}
+
+	levels := buildHierarchy(g, cfg, rng, hiL)
+	coarsest := levels[len(levels)-1].g
+
+	side := initialBisection(coarsest, rng, cfg.InitialTries, targetL, loL, hiL)
+	refineBisection(coarsest, side, loL, hiL, cfg.FMPasses)
+
+	for li := len(levels) - 1; li >= 1; li-- {
+		side = projectPartition(levels[li].coarse, side)
+		refineBisection(levels[li-1].g, side, loL, hiL, cfg.FMPasses)
+	}
+	rebalanceBisection(g, side, loL, hiL)
+
+	// Iterated multilevel: re-coarsen without crossing the current cut,
+	// then refine the projected bisection at every level again. Each
+	// V-cycle can only keep or improve the cut (FM never worsens it).
+	for c := 0; c < cfg.VCycles; c++ {
+		side = vcycleOnce(g, cfg, rng, side, loL, hiL)
+	}
+	return side
+}
+
+// vcycleOnce runs one restricted-coarsening V-cycle over an existing
+// bisection and returns the (possibly improved) bisection.
+func vcycleOnce(g *graph.Graph, cfg Config, rng *rand.Rand, side []int32, loL, hiL int64) []int32 {
+	levels := []level{{g: g, side: side}}
+	cur := g
+	curSide := side
+	for cur.N() > cfg.CoarsestSize {
+		coarse, nc := heavyEdgeMatchingGrouped(cur, rng, hiL, curSide)
+		if float64(nc) > 0.96*float64(cur.N()) {
+			break
+		}
+		next := cur.ContractPairs(coarse, nc)
+		nextSide := make([]int32, nc)
+		for v, cv := range coarse {
+			nextSide[cv] = curSide[v] // matching never crosses the cut
+		}
+		levels = append(levels, level{g: next, coarse: coarse, side: nextSide})
+		cur = next
+		curSide = nextSide
+	}
+	refineBisection(cur, curSide, loL, hiL, cfg.FMPasses)
+	for li := len(levels) - 1; li >= 1; li-- {
+		fine := projectPartition(levels[li].coarse, curSide)
+		refineBisection(levels[li-1].g, fine, loL, hiL, cfg.FMPasses)
+		curSide = fine
+	}
+	return curSide
+}
+
+// initialBisection runs several greedy graph-growing attempts and keeps
+// the best (feasible-first, then lowest cut).
+func initialBisection(g *graph.Graph, rng *rand.Rand, tries int, targetL, loL, hiL int64) []int32 {
+	var best []int32
+	var bestCut int64 = math.MaxInt64
+	bestFeasible := false
+	for t := 0; t < tries; t++ {
+		side := greedyGrow(g, rng, targetL)
+		rebalanceBisection(g, side, loL, hiL)
+		w0 := sideWeight(g, side)
+		feasible := w0 >= loL && w0 <= hiL
+		cut := Cut(g, side)
+		if best == nil ||
+			(feasible && !bestFeasible) ||
+			(feasible == bestFeasible && cut < bestCut) {
+			best, bestCut, bestFeasible = side, cut, feasible
+		}
+	}
+	return best
+}
+
+// greedyGrow grows side 0 from a random seed, always absorbing the
+// frontier vertex with the largest connection to the grown region minus
+// connection to the outside (greedy graph growing à la Metis), until the
+// region's weight reaches targetL.
+func greedyGrow(g *graph.Graph, rng *rand.Rand, targetL int64) []int32 {
+	n := g.N()
+	side := make([]int32, n)
+	for i := range side {
+		side[i] = 1
+	}
+	gain := make([]int64, n)
+	inHeap := make([]bool, n)
+	h := &gainHeap{}
+	heap.Init(h)
+
+	seed := rng.Intn(n)
+	var w0 int64
+	absorb := func(v int) {
+		side[v] = 0
+		w0 += g.VertexWeight(v)
+		nbr, ew := g.Neighbors(v)
+		for i, u := range nbr {
+			if side[u] == 1 {
+				gain[u] += 2 * ew[i] // edge flips from external to internal
+				heap.Push(h, heapEntry{int32(u), gain[u]})
+				inHeap[u] = true
+			}
+		}
+	}
+	absorb(seed)
+	for w0 < targetL && h.Len() > 0 {
+		e := heap.Pop(h).(heapEntry)
+		v := int(e.v)
+		if side[v] == 0 || e.gain != gain[v] {
+			continue // stale entry
+		}
+		absorb(v)
+	}
+	// Disconnected graphs: the frontier may empty before reaching the
+	// target; keep absorbing arbitrary side-1 vertices.
+	for v := 0; w0 < targetL && v < n; v++ {
+		if side[v] == 1 {
+			absorb(v)
+		}
+	}
+	return side
+}
+
+func sideWeight(g *graph.Graph, side []int32) int64 {
+	var w0 int64
+	for v := 0; v < g.N(); v++ {
+		if side[v] == 0 {
+			w0 += g.VertexWeight(v)
+		}
+	}
+	return w0
+}
+
+// rebalanceBisection moves vertices across the cut (cheapest damage
+// first) until side 0's weight lies in [loL, hiL].
+func rebalanceBisection(g *graph.Graph, side []int32, loL, hiL int64) {
+	w0 := sideWeight(g, side)
+	// The iteration bound guards against oscillation when no assignment
+	// can hit the window exactly (possible with heavy vertices).
+	for iter := 0; (w0 < loL || w0 > hiL) && iter <= 2*g.N(); iter++ {
+		var from int32 // side to shrink
+		if w0 > hiL {
+			from = 0
+		} else {
+			from = 1
+		}
+		// Pick the movable vertex with the best (gain, small weight).
+		bestV := -1
+		var bestScore int64 = math.MinInt64
+		for v := 0; v < g.N(); v++ {
+			if side[v] != from {
+				continue
+			}
+			nbr, ew := g.Neighbors(v)
+			var gainV int64
+			for i, u := range nbr {
+				if side[u] != side[v] {
+					gainV += ew[i]
+				} else {
+					gainV -= ew[i]
+				}
+			}
+			if gainV > bestScore {
+				bestScore = gainV
+				bestV = v
+			}
+		}
+		if bestV < 0 {
+			return // nothing movable; give up (caller re-checks feasibility)
+		}
+		if from == 0 {
+			side[bestV] = 1
+			w0 -= g.VertexWeight(bestV)
+		} else {
+			side[bestV] = 0
+			w0 += g.VertexWeight(bestV)
+		}
+	}
+}
+
+// heapEntry is a lazily-invalidated max-heap entry.
+type heapEntry struct {
+	v    int32
+	gain int64
+}
+
+type gainHeap []heapEntry
+
+func (h gainHeap) Len() int            { return len(h) }
+func (h gainHeap) Less(i, j int) bool  { return h[i].gain > h[j].gain }
+func (h gainHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *gainHeap) Push(x interface{}) { *h = append(*h, x.(heapEntry)) }
+func (h *gainHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,125 @@
+package partition
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// CoarseningScheme selects how the multilevel hierarchy contracts the
+// graph.
+type CoarseningScheme int
+
+const (
+	// MatchingCoarsening contracts a heavy-edge matching per level
+	// (halves the graph at best; the classic Metis/KaHIP scheme for
+	// mesh-like graphs).
+	MatchingCoarsening CoarseningScheme = iota
+	// ClusterCoarsening contracts size-constrained label-propagation
+	// clusters per level (shrinks much faster on complex networks with
+	// skewed degrees — the scheme KaHIP employs for social networks).
+	ClusterCoarsening
+)
+
+func (c CoarseningScheme) String() string {
+	switch c {
+	case MatchingCoarsening:
+		return "matching"
+	case ClusterCoarsening:
+		return "clustering"
+	default:
+		return "unknown"
+	}
+}
+
+// labelPropagationClustering groups vertices into clusters by
+// size-constrained label propagation: every vertex starts in its own
+// cluster; for a few rounds, each vertex (in random order) joins the
+// neighboring cluster with the heaviest connection, provided the cluster
+// stays below maxClusterWeight. Returns the dense cluster assignment and
+// the cluster count.
+func labelPropagationClustering(g *graph.Graph, rng *rand.Rand, maxClusterWeight int64, rounds int) ([]int32, int) {
+	n := g.N()
+	cluster := make([]int32, n)
+	weight := make([]int64, n)
+	for v := 0; v < n; v++ {
+		cluster[v] = int32(v)
+		weight[v] = g.VertexWeight(v)
+	}
+	// conn[c] accumulates v's connection to cluster c during one scan.
+	conn := make([]int64, n)
+	stamp := make([]int32, n)
+	var curStamp int32
+
+	for round := 0; round < rounds; round++ {
+		moves := 0
+		for _, v := range rng.Perm(n) {
+			cv := cluster[v]
+			wv := g.VertexWeight(v)
+			nbr, ew := g.Neighbors(v)
+			curStamp++
+			for i, u := range nbr {
+				cu := cluster[u]
+				if stamp[cu] != curStamp {
+					stamp[cu] = curStamp
+					conn[cu] = 0
+				}
+				conn[cu] += ew[i]
+			}
+			best := cv
+			var bestConn int64 = -1
+			if stamp[cv] == curStamp {
+				bestConn = conn[cv]
+			}
+			for _, u := range nbr {
+				cu := cluster[u]
+				if cu == cv || stamp[cu] != curStamp {
+					continue
+				}
+				if weight[cu]+wv > maxClusterWeight {
+					continue
+				}
+				if conn[cu] > bestConn || (conn[cu] == bestConn && weight[cu] < weight[best]) {
+					bestConn = conn[cu]
+					best = cu
+				}
+			}
+			if best != cv {
+				cluster[v] = best
+				weight[cv] -= wv
+				weight[best] += wv
+				moves++
+			}
+		}
+		if moves == 0 {
+			break
+		}
+	}
+	// Compact cluster ids.
+	remap := make([]int32, n)
+	for i := range remap {
+		remap[i] = -1
+	}
+	next := int32(0)
+	for v := 0; v < n; v++ {
+		c := cluster[v]
+		if remap[c] < 0 {
+			remap[c] = next
+			next++
+		}
+		cluster[v] = remap[c]
+	}
+	return cluster, int(next)
+}
+
+// clusterCoarsen contracts one level of label-propagation clusters,
+// bounding cluster weights so no coarse vertex outgrows the block limit.
+func clusterCoarsen(g *graph.Graph, rng *rand.Rand, maxBlockWeight int64) ([]int32, int) {
+	// Clusters capped well below the block limit keep the coarsest level
+	// partitionable.
+	cap := maxBlockWeight / 4
+	if cap < 2 {
+		cap = 2
+	}
+	return labelPropagationClustering(g, rng, cap, 3)
+}

@@ -1,0 +1,98 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestLabelPropagationClusteringRespectsCap(t *testing.T) {
+	g := randomGraph(400, 1600, 3)
+	rng := rand.New(rand.NewSource(1))
+	cluster, nc := labelPropagationClustering(g, rng, 10, 3)
+	if nc <= 0 || nc > g.N() {
+		t.Fatalf("cluster count %d out of range", nc)
+	}
+	weights := make([]int64, nc)
+	for v, c := range cluster {
+		if c < 0 || int(c) >= nc {
+			t.Fatalf("cluster id %d out of range [0,%d)", c, nc)
+		}
+		weights[c] += g.VertexWeight(v)
+	}
+	for c, w := range weights {
+		if w > 10 {
+			t.Errorf("cluster %d weighs %d > cap 10", c, w)
+		}
+		if w == 0 {
+			t.Errorf("cluster %d empty after compaction", c)
+		}
+	}
+}
+
+func TestLabelPropagationShrinksComplexGraph(t *testing.T) {
+	// A graph with dense communities should collapse far below the ~1/2
+	// bound matching can reach.
+	b := graph.NewBuilder(300)
+	for c := 0; c < 30; c++ { // 30 cliques of 10
+		for i := 0; i < 10; i++ {
+			for j := i + 1; j < 10; j++ {
+				b.AddEdge(c*10+i, c*10+j, 5)
+			}
+		}
+		if c > 0 {
+			b.AddEdge(c*10, (c-1)*10, 1)
+		}
+	}
+	g := b.Build()
+	rng := rand.New(rand.NewSource(2))
+	_, nc := labelPropagationClustering(g, rng, 12, 3)
+	if nc > 60 {
+		t.Errorf("clustering left %d clusters; communities should collapse to ~30", nc)
+	}
+}
+
+func TestClusterCoarseningPartitionQuality(t *testing.T) {
+	// Cluster coarsening must produce balanced partitions of the same
+	// general quality as matching on a community-structured graph.
+	g := randomGraph(1200, 6000, 5)
+	for _, scheme := range []CoarseningScheme{MatchingCoarsening, ClusterCoarsening} {
+		res, err := Partition(g, Config{K: 16, Seed: 9, Coarsening: scheme})
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if !IsBalanced(g, res.Part, 16, 0.03) {
+			t.Errorf("%s: unbalanced", scheme)
+		}
+		if res.Cut <= 0 {
+			t.Errorf("%s: degenerate cut", scheme)
+		}
+	}
+}
+
+func TestCoarseningSchemeString(t *testing.T) {
+	if MatchingCoarsening.String() != "matching" || ClusterCoarsening.String() != "clustering" {
+		t.Error("scheme names wrong")
+	}
+	if CoarseningScheme(99).String() != "unknown" {
+		t.Error("unknown scheme should print unknown")
+	}
+}
+
+func TestClusterHierarchyShrinksFaster(t *testing.T) {
+	g := randomGraph(2000, 10000, 7)
+	rngA := rand.New(rand.NewSource(1))
+	rngB := rand.New(rand.NewSource(1))
+	cfgM := Config{K: 8, Coarsening: MatchingCoarsening}.withDefaults()
+	cfgC := Config{K: 8, Coarsening: ClusterCoarsening}.withDefaults()
+	lm := buildHierarchy(g, cfgM, rngA, 0)
+	lc := buildHierarchy(g, cfgC, rngB, 1<<40)
+	if len(lc) > len(lm)+2 {
+		t.Errorf("cluster coarsening used %d levels vs matching's %d; should not be deeper",
+			len(lc), len(lm))
+	}
+	if lc[len(lc)-1].g.N() > 4*cfgC.CoarsestSize {
+		t.Errorf("cluster coarsening stalled at %d vertices", lc[len(lc)-1].g.N())
+	}
+}

@@ -1,0 +1,121 @@
+package partition
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// level is one rung of the multilevel hierarchy: the coarse graph and the
+// mapping from the finer graph's vertices onto it.
+type level struct {
+	g      *graph.Graph
+	coarse []int32 // finer vertex -> coarse vertex (nil at the finest level)
+	// side is this level's projected bisection during a V-cycle (nil
+	// outside V-cycles).
+	side []int32
+}
+
+// heavyEdgeMatching computes a matching that prefers heavy edges: visit
+// vertices in random order; match each unmatched vertex to its heaviest
+// unmatched neighbor (ties broken by smaller degree, which empirically
+// keeps coarse graphs sparser). Returns the fine→coarse map and the
+// coarse vertex count.
+func heavyEdgeMatching(g *graph.Graph, rng *rand.Rand, maxBlockWeight int64) ([]int32, int) {
+	return heavyEdgeMatchingGrouped(g, rng, maxBlockWeight, nil)
+}
+
+// heavyEdgeMatchingGrouped is heavyEdgeMatching restricted to pairs
+// within the same group (group == nil means unrestricted). V-cycles use
+// the current bisection as the group so contraction never crosses the
+// cut.
+func heavyEdgeMatchingGrouped(g *graph.Graph, rng *rand.Rand, maxBlockWeight int64, group []int32) ([]int32, int) {
+	n := g.N()
+	order := rng.Perm(n)
+	match := make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+	for _, v := range order {
+		if match[v] >= 0 {
+			continue
+		}
+		bestU := -1
+		var bestW int64 = -1
+		nbr, ew := g.Neighbors(v)
+		for i, u := range nbr {
+			if match[u] >= 0 {
+				continue
+			}
+			if group != nil && group[u] != group[v] {
+				continue
+			}
+			// Avoid creating coarse vertices heavier than the block limit:
+			// they could never be balanced later.
+			if maxBlockWeight > 0 && g.VertexWeight(v)+g.VertexWeight(int(u)) > maxBlockWeight {
+				continue
+			}
+			if ew[i] > bestW || (ew[i] == bestW && g.Degree(int(u)) < g.Degree(bestU)) {
+				bestW = ew[i]
+				bestU = int(u)
+			}
+		}
+		if bestU >= 0 {
+			match[v] = int32(bestU)
+			match[bestU] = int32(v)
+		} else {
+			match[v] = int32(v) // matched to itself
+		}
+	}
+	// Assign coarse ids: one per matched pair / singleton.
+	coarse := make([]int32, n)
+	for i := range coarse {
+		coarse[i] = -1
+	}
+	next := int32(0)
+	for v := 0; v < n; v++ {
+		if coarse[v] >= 0 {
+			continue
+		}
+		coarse[v] = next
+		if m := match[v]; int(m) != v {
+			coarse[m] = next
+		}
+		next++
+	}
+	return coarse, int(next)
+}
+
+// buildHierarchy coarsens g until it has at most coarsestSize vertices or
+// contraction stalls. The returned slice starts with the finest level
+// (coarse == nil) and ends with the coarsest graph.
+func buildHierarchy(g *graph.Graph, cfg Config, rng *rand.Rand, maxBlockWeight int64) []level {
+	levels := []level{{g: g}}
+	cur := g
+	for cur.N() > cfg.CoarsestSize {
+		var coarse []int32
+		var nc int
+		if cfg.Coarsening == ClusterCoarsening {
+			coarse, nc = clusterCoarsen(cur, rng, maxBlockWeight)
+		} else {
+			coarse, nc = heavyEdgeMatching(cur, rng, maxBlockWeight)
+		}
+		if float64(nc) > 0.96*float64(cur.N()) {
+			break // contraction stalled; further levels would not shrink
+		}
+		next := cur.ContractPairs(coarse, nc)
+		levels = append(levels, level{g: next, coarse: coarse})
+		cur = next
+	}
+	return levels
+}
+
+// projectPartition lifts a partition of the coarse graph to the finer
+// graph through the fine→coarse map.
+func projectPartition(coarse []int32, coarsePart []int32) []int32 {
+	fine := make([]int32, len(coarse))
+	for v, cv := range coarse {
+		fine[v] = coarsePart[cv]
+	}
+	return fine
+}

@@ -1,0 +1,172 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// kwayRefine performs greedy boundary refinement on a k-way partition:
+// repeatedly move boundary vertices to the adjacent block with the
+// largest connectivity gain, subject to the balance limit. A few rounds
+// suffice after recursive bisection; the loop stops early when a round
+// makes no move.
+func kwayRefine(g *graph.Graph, part []int32, cfg Config, rng *rand.Rand) {
+	k := cfg.K
+	if k <= 1 {
+		return
+	}
+	limit := int64(math.Floor((1 + cfg.Epsilon) * float64(idealBlockWeight(g.TotalVertexWeight(), k))))
+	weights := BlockWeights(g, part, k)
+
+	// conn[b] holds v's connectivity to block b during the scan of v;
+	// stamp avoids clearing between vertices.
+	conn := make([]int64, k)
+	stamp := make([]int32, k)
+	var curStamp int32
+
+	const rounds = 3
+	for round := 0; round < rounds; round++ {
+		order := rng.Perm(g.N())
+		movesMade := 0
+		for _, v := range order {
+			pv := part[v]
+			nbr, ew := g.Neighbors(v)
+			curStamp++
+			boundary := false
+			for i, u := range nbr {
+				pu := part[u]
+				if stamp[pu] != curStamp {
+					stamp[pu] = curStamp
+					conn[pu] = 0
+				}
+				conn[pu] += ew[i]
+				if pu != pv {
+					boundary = true
+				}
+			}
+			if !boundary {
+				continue
+			}
+			var connV int64
+			if stamp[pv] == curStamp {
+				connV = conn[pv]
+			}
+			wv := g.VertexWeight(v)
+			bestB := int32(-1)
+			var bestGain int64 = math.MinInt64
+			for i := range nbr {
+				b := part[nbr[i]]
+				if b == pv || stamp[b] != curStamp {
+					continue
+				}
+				if weights[b]+wv > limit {
+					continue
+				}
+				gain := conn[b] - connV
+				if gain < 0 {
+					continue
+				}
+				if gain > bestGain || (gain == bestGain && weights[b] < weights[bestB]) {
+					bestGain = gain
+					bestB = b
+				}
+			}
+			// Positive gain always moves; zero gain only when it improves
+			// balance (strictly lighter target).
+			if bestB >= 0 && (bestGain > 0 || weights[bestB]+wv < weights[pv]) {
+				weights[pv] -= wv
+				weights[bestB] += wv
+				part[v] = bestB
+				movesMade++
+			}
+		}
+		if movesMade == 0 {
+			break
+		}
+	}
+}
+
+// enforceBalance repairs any block exceeding the (1+ε) limit by moving
+// its least-damaging boundary vertices to the lightest adjacent block
+// with room (falling back to the globally lightest block). With unit
+// vertex weights this always terminates with a balanced partition.
+func enforceBalance(g *graph.Graph, part []int32, cfg Config, rng *rand.Rand) {
+	k := cfg.K
+	if k <= 1 {
+		return
+	}
+	limit := int64(math.Floor((1 + cfg.Epsilon) * float64(idealBlockWeight(g.TotalVertexWeight(), k))))
+	weights := BlockWeights(g, part, k)
+
+	for iter := 0; iter < g.N(); iter++ {
+		over := int32(-1)
+		for b, w := range weights {
+			if w > limit {
+				over = int32(b)
+				break
+			}
+		}
+		if over < 0 {
+			return
+		}
+		// Cheapest vertex of the overloaded block to evict, and where to.
+		bestV, bestB := -1, int32(-1)
+		var bestScore int64 = math.MinInt64
+		for v := 0; v < g.N(); v++ {
+			if part[v] != over {
+				continue
+			}
+			wv := g.VertexWeight(v)
+			nbr, ew := g.Neighbors(v)
+			var internal int64
+			targets := map[int32]int64{}
+			for i, u := range nbr {
+				if part[u] == over {
+					internal += ew[i]
+				} else {
+					targets[part[u]] += ew[i]
+				}
+			}
+			for b, ext := range targets {
+				if weights[b]+wv > limit {
+					continue
+				}
+				if score := ext - internal; score > bestScore {
+					bestScore, bestV, bestB = score, v, b
+				}
+			}
+			if len(targets) == 0 || bestV < 0 {
+				// Fall back to the lightest block anywhere.
+				lb := lightestBlock(weights, over)
+				if weights[lb]+wv <= limit {
+					if score := -internal - 1; score > bestScore {
+						bestScore, bestV, bestB = score, v, lb
+					}
+				}
+			}
+		}
+		if bestV < 0 {
+			return // cannot improve further (pathological weights)
+		}
+		wv := g.VertexWeight(bestV)
+		weights[over] -= wv
+		weights[bestB] += wv
+		part[bestV] = bestB
+	}
+}
+
+func lightestBlock(weights []int64, exclude int32) int32 {
+	best := int32(-1)
+	var bw int64 = math.MaxInt64
+	for b, w := range weights {
+		if int32(b) == exclude {
+			continue
+		}
+		if w < bw {
+			bw, best = w, int32(b)
+		}
+	}
+	return best
+}

@@ -1,0 +1,225 @@
+// Package partition implements a multilevel k-way graph partitioner in
+// the style of KaHIP/Metis, used as the paper's partitioning substrate
+// (experimental cases c2–c4 obtain their initial partitions from KaHIP;
+// this package plays that role, and its running time is the denominator
+// of the paper's Table 2 time quotients).
+//
+// The pipeline is the classical multilevel scheme the paper cites
+// ([15, 27]): coarsening by heavy-edge matching, initial partitioning by
+// greedy graph growing, and Fiduccia–Mattheyses-style local refinement
+// during uncoarsening. k-way partitions are produced by recursive
+// bisection with proportional weight targets, followed by a k-way
+// boundary refinement sweep.
+package partition
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Config controls the partitioner.
+type Config struct {
+	// K is the number of blocks (≥ 1).
+	K int
+	// Epsilon is the allowed imbalance: every block's weight is at most
+	// (1+Epsilon)·⌈W/K⌉ (paper Eq. (1)). The paper uses 0.03.
+	Epsilon float64
+	// Seed drives all randomized components.
+	Seed int64
+	// CoarsestSize stops coarsening once the graph has at most this many
+	// vertices (0 = default).
+	CoarsestSize int
+	// InitialTries is the number of greedy-growing attempts per
+	// bisection (0 = default).
+	InitialTries int
+	// FMPasses bounds the FM passes per level (0 = default).
+	FMPasses int
+	// Coarsening selects the contraction scheme (default: matching;
+	// ClusterCoarsening suits complex networks, cf. package docs).
+	Coarsening CoarseningScheme
+	// VCycles adds iterated-multilevel rounds per bisection: the graph
+	// is re-coarsened without crossing the current cut and the projected
+	// bisection is refined again at every level (KaHIP's V-cycle idea).
+	// Each cycle can only keep or lower the cut; 0 disables.
+	VCycles int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Epsilon <= 0 {
+		c.Epsilon = 0.03
+	}
+	if c.CoarsestSize <= 0 {
+		c.CoarsestSize = 160
+	}
+	if c.InitialTries <= 0 {
+		c.InitialTries = 6
+	}
+	if c.FMPasses <= 0 {
+		c.FMPasses = 4
+	}
+	return c
+}
+
+// Result is a k-way partition with its quality metrics.
+type Result struct {
+	Part     []int32 // vertex -> block in [0, K)
+	K        int
+	Cut      int64   // total weight of edges between different blocks
+	MaxBlock int64   // heaviest block weight
+	Balance  float64 // MaxBlock / ⌈W/K⌉
+}
+
+// Partition computes an ε-balanced K-way partition of g.
+func Partition(g *graph.Graph, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("partition: K = %d, want ≥ 1", cfg.K)
+	}
+	if g.N() == 0 {
+		return &Result{Part: nil, K: cfg.K}, nil
+	}
+	if int64(cfg.K) > g.TotalVertexWeight() {
+		return nil, fmt.Errorf("partition: K = %d exceeds total vertex weight %d", cfg.K, g.TotalVertexWeight())
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	part := make([]int32, g.N())
+	// Per-bisection imbalance: compounding over ⌈log2 K⌉ levels must stay
+	// within the global ε; additionally each level needs some slack to
+	// move at all.
+	levels := int(math.Ceil(math.Log2(float64(cfg.K))))
+	if levels < 1 {
+		levels = 1
+	}
+	epsBis := math.Pow(1+cfg.Epsilon, 1/float64(levels)) - 1
+	if epsBis < 0.004 {
+		epsBis = 0.004
+	}
+	recursiveBisect(g, cfg, rng, part, 0, cfg.K, epsBis)
+
+	kwayRefine(g, part, cfg, rng)
+	enforceBalance(g, part, cfg, rng)
+
+	res := Evaluate(g, part, cfg.K)
+	return res, nil
+}
+
+// recursiveBisect splits g's vertices into blocks [base, base+k) writing
+// into part (which is indexed by g's vertex ids — callers pass induced
+// subgraphs along with an id translation).
+func recursiveBisect(g *graph.Graph, cfg Config, rng *rand.Rand, part []int32, base, k int, epsBis float64) {
+	if k == 1 {
+		for v := 0; v < g.N(); v++ {
+			part[v] = int32(base)
+		}
+		return
+	}
+	kL := k / 2
+	kR := k - kL
+	fracL := float64(kL) / float64(k)
+	side := multilevelBisect(g, cfg, rng, fracL, epsBis)
+
+	var left, right []int32
+	for v := 0; v < g.N(); v++ {
+		if side[v] == 0 {
+			left = append(left, int32(v))
+		} else {
+			right = append(right, int32(v))
+		}
+	}
+	gL, _ := g.InducedSubgraph(left)
+	gR, _ := g.InducedSubgraph(right)
+
+	partL := make([]int32, gL.N())
+	partR := make([]int32, gR.N())
+	recursiveBisect(gL, cfg, rng, partL, 0, kL, epsBis)
+	recursiveBisect(gR, cfg, rng, partR, 0, kR, epsBis)
+	for i, v := range left {
+		part[v] = int32(base) + partL[i]
+	}
+	for i, v := range right {
+		part[v] = int32(base+kL) + partR[i]
+	}
+}
+
+// PartitionProportional computes a 2-way split of g where side 0
+// receives approximately frac of the total vertex weight, within the
+// configured epsilon on both sides. It exposes the multilevel bisection
+// used internally by recursive bisection; the DRB mapper builds on it.
+func PartitionProportional(g *graph.Graph, cfg Config, frac float64, seed int64) ([]int32, error) {
+	cfg = cfg.withDefaults()
+	if g.N() == 0 {
+		return nil, nil
+	}
+	if frac <= 0 || frac >= 1 {
+		return nil, fmt.Errorf("partition: fraction %g out of (0,1)", frac)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	side := multilevelBisect(g, cfg, rng, frac, cfg.Epsilon)
+	return side, nil
+}
+
+// Evaluate computes cut and balance of a partition.
+func Evaluate(g *graph.Graph, part []int32, k int) *Result {
+	res := &Result{Part: part, K: k}
+	weights := make([]int64, k)
+	for v := 0; v < g.N(); v++ {
+		weights[part[v]] += g.VertexWeight(v)
+		nbr, ew := g.Neighbors(v)
+		for i, u := range nbr {
+			if int(u) > v && part[u] != part[v] {
+				res.Cut += ew[i]
+			}
+		}
+	}
+	for _, w := range weights {
+		if w > res.MaxBlock {
+			res.MaxBlock = w
+		}
+	}
+	ideal := idealBlockWeight(g.TotalVertexWeight(), k)
+	res.Balance = float64(res.MaxBlock) / float64(ideal)
+	return res
+}
+
+// idealBlockWeight is ⌈W/K⌉ as in paper Eq. (1).
+func idealBlockWeight(total int64, k int) int64 {
+	return (total + int64(k) - 1) / int64(k)
+}
+
+// Cut returns the total weight of edges crossing between blocks.
+func Cut(g *graph.Graph, part []int32) int64 {
+	var cut int64
+	for v := 0; v < g.N(); v++ {
+		nbr, ew := g.Neighbors(v)
+		for i, u := range nbr {
+			if int(u) > v && part[u] != part[v] {
+				cut += ew[i]
+			}
+		}
+	}
+	return cut
+}
+
+// BlockWeights returns the weight of each block.
+func BlockWeights(g *graph.Graph, part []int32, k int) []int64 {
+	w := make([]int64, k)
+	for v := 0; v < g.N(); v++ {
+		w[part[v]] += g.VertexWeight(v)
+	}
+	return w
+}
+
+// IsBalanced reports whether every block weight is at most
+// (1+eps)·⌈W/K⌉.
+func IsBalanced(g *graph.Graph, part []int32, k int, eps float64) bool {
+	limit := int64(math.Floor((1 + eps) * float64(idealBlockWeight(g.TotalVertexWeight(), k))))
+	for _, w := range BlockWeights(g, part, k) {
+		if w > limit {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,45 @@
+package partition
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestPartitionProportional(t *testing.T) {
+	g := randomGraph(600, 2400, 31)
+	total := float64(g.TotalVertexWeight())
+	for _, frac := range []float64{0.25, 0.5, 0.75} {
+		side, err := PartitionProportional(g, Config{K: 2, Epsilon: 0.03}, frac, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var w0 int64
+		for v, s := range side {
+			if s != 0 && s != 1 {
+				t.Fatalf("side value %d", s)
+			}
+			if s == 0 {
+				w0 += g.VertexWeight(v)
+			}
+		}
+		got := float64(w0) / total
+		if math.Abs(got-frac) > 0.08 {
+			t.Errorf("frac %.2f: side 0 got %.3f of the weight", frac, got)
+		}
+	}
+}
+
+func TestPartitionProportionalErrors(t *testing.T) {
+	g := randomGraph(50, 100, 1)
+	if _, err := PartitionProportional(g, Config{K: 2}, 0, 1); err == nil {
+		t.Error("frac 0 accepted")
+	}
+	if _, err := PartitionProportional(g, Config{K: 2}, 1, 1); err == nil {
+		t.Error("frac 1 accepted")
+	}
+	if side, err := PartitionProportional(graph.NewBuilder(0).Build(), Config{K: 2}, 0.5, 1); err != nil || side != nil {
+		t.Errorf("empty graph should give nil, nil; got %v, %v", side, err)
+	}
+}

@@ -1,0 +1,60 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestVCycleNeverWorsensBisection(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		g := randomGraph(900, 3600, seed)
+		base, err := Partition(g, Config{K: 2, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vc, err := Partition(g, Config{K: 2, Seed: seed, VCycles: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsBalanced(g, vc.Part, 2, 0.03) {
+			t.Errorf("seed %d: V-cycle partition unbalanced", seed)
+		}
+		// Same seed => same initial trajectory; the added V-cycles can
+		// only keep or improve the cut.
+		if vc.Cut > base.Cut {
+			t.Errorf("seed %d: V-cycle worsened cut %d -> %d", seed, base.Cut, vc.Cut)
+		}
+	}
+}
+
+func TestVCycleKWay(t *testing.T) {
+	g := randomGraph(1000, 4000, 11)
+	res, err := Partition(g, Config{K: 8, Seed: 3, VCycles: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsBalanced(g, res.Part, 8, 0.03) {
+		t.Error("k-way V-cycle partition unbalanced")
+	}
+}
+
+func TestVCycleRestrictedMatchingNeverCrossesCut(t *testing.T) {
+	g := randomGraph(300, 1200, 7)
+	rng := rand.New(rand.NewSource(1))
+	side := make([]int32, g.N())
+	for v := range side {
+		side[v] = int32(v % 2)
+	}
+	coarse, nc := heavyEdgeMatchingGrouped(g, rng, 0, side)
+	groupOf := make([]int32, nc)
+	for i := range groupOf {
+		groupOf[i] = -1
+	}
+	for v, cv := range coarse {
+		if groupOf[cv] == -1 {
+			groupOf[cv] = side[v]
+		} else if groupOf[cv] != side[v] {
+			t.Fatalf("coarse vertex %d merges both sides", cv)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package topology
+
+import "fmt"
+
+// PaperTopology identifies one of the five processor graphs of the
+// paper's evaluation (Section 7.1).
+type PaperTopology int
+
+const (
+	// Grid2D16x16 is the 2DGrid(16×16): 256 PEs, 30 convex cuts.
+	Grid2D16x16 PaperTopology = iota
+	// Grid3D8x8x8 is the 3DGrid(8×8×8): 512 PEs, 21 convex cuts.
+	Grid3D8x8x8
+	// Torus2D16x16 is the 2DTorus(16×16): 256 PEs.
+	Torus2D16x16
+	// Torus3D8x8x8 is the 3DTorus(8×8×8): 512 PEs.
+	Torus3D8x8x8
+	// HQ8 is the 8-dimensional hypercube: 256 PEs, 8 convex cuts.
+	HQ8
+)
+
+// String returns the paper's name for the topology.
+func (p PaperTopology) String() string {
+	switch p {
+	case Grid2D16x16:
+		return "grid16x16"
+	case Grid3D8x8x8:
+		return "grid8x8x8"
+	case Torus2D16x16:
+		return "torus16x16"
+	case Torus3D8x8x8:
+		return "torus8x8x8"
+	case HQ8:
+		return "8-dimHQ"
+	default:
+		return fmt.Sprintf("PaperTopology(%d)", int(p))
+	}
+}
+
+// Build constructs the topology, named as in the paper's tables.
+func (p PaperTopology) Build() (*Topology, error) {
+	var t *Topology
+	var err error
+	switch p {
+	case Grid2D16x16:
+		t, err = Grid(16, 16)
+	case Grid3D8x8x8:
+		t, err = Grid(8, 8, 8)
+	case Torus2D16x16:
+		t, err = Torus(16, 16)
+	case Torus3D8x8x8:
+		t, err = Torus(8, 8, 8)
+	case HQ8:
+		t, err = Hypercube(8)
+	default:
+		return nil, fmt.Errorf("topology: unknown paper topology %d", int(p))
+	}
+	if err != nil {
+		return nil, err
+	}
+	t.Name = p.String()
+	return t, nil
+}
+
+// PaperTopologies lists the five processor graphs of the evaluation in
+// the order used by the paper's tables and figures.
+func PaperTopologies() []PaperTopology {
+	return []PaperTopology{HQ8, Grid2D16x16, Grid3D8x8x8, Torus2D16x16, Torus3D8x8x8}
+}
+
+// MustBuild is Build that panics on error, for examples and tests.
+func (p PaperTopology) MustBuild() *Topology {
+	t, err := p.Build()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

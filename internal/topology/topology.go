@@ -1,0 +1,286 @@
+// Package topology builds the processor graphs Gp used in the paper's
+// experiments — rectangular/cubic grids, even tori and hypercubes — plus
+// trees, all of which are partial cubes. Each generator also produces the
+// isometric bitvector labeling analytically (unary coordinate codes for
+// grids, cyclic "necklace" codes for even cycles, identity for
+// hypercubes, one-digit-per-edge for trees), so the O(|Ep|²) recognizer
+// in package partialcube is only needed for arbitrary input graphs; tests
+// cross-check both against each other.
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/graph"
+	"repro/internal/partialcube"
+)
+
+// Topology is a processor graph together with its partial-cube labeling.
+type Topology struct {
+	Name string
+	G    *graph.Graph
+	// Dim is the partial-cube dimension: the number of convex cuts of G
+	// and the length of every label.
+	Dim int
+	// Labels assigns each PE its bitvector label; graph distance equals
+	// Hamming distance between labels.
+	Labels []bitvec.Label
+
+	byLabel map[bitvec.Label]int32
+}
+
+// P returns the number of processing elements.
+func (t *Topology) P() int { return t.G.N() }
+
+// PEOf returns the PE whose label is l, or -1 if no PE has that label.
+func (t *Topology) PEOf(l bitvec.Label) int {
+	if t.byLabel == nil {
+		t.buildIndex()
+	}
+	if pe, ok := t.byLabel[l]; ok {
+		return int(pe)
+	}
+	return -1
+}
+
+func (t *Topology) buildIndex() {
+	t.byLabel = make(map[bitvec.Label]int32, len(t.Labels))
+	for pe, l := range t.Labels {
+		t.byLabel[l] = int32(pe)
+	}
+}
+
+// Distance returns the hop distance between PEs u and v, computed as the
+// Hamming distance of their labels.
+func (t *Topology) Distance(u, v int) int {
+	return bitvec.Hamming(t.Labels[u], t.Labels[v])
+}
+
+// Validate verifies that the labeling is isometric and unique. It is
+// O(|Vp||Ep|) and intended for construction-time checks and tests.
+func (t *Topology) Validate() error {
+	l := &partialcube.Labeling{Dim: t.Dim, Labels: t.Labels}
+	return l.Verify(t.G)
+}
+
+// FromGraph builds a Topology from an arbitrary graph by running
+// partial-cube recognition (paper Section 3). It fails if g is not a
+// partial cube.
+func FromGraph(name string, g *graph.Graph) (*Topology, error) {
+	lab, err := partialcube.Recognize(g)
+	if err != nil {
+		return nil, fmt.Errorf("topology %q: %w", name, err)
+	}
+	return &Topology{Name: name, G: g, Dim: lab.Dim, Labels: lab.Labels}, nil
+}
+
+// Grid builds an n-dimensional rectangular mesh with the given extents
+// (all ≥ 1). Labels concatenate unary codes of the coordinates, so the
+// dimension is Σ(ext_i − 1) and Hamming distance equals Manhattan
+// distance.
+func Grid(extents ...int) (*Topology, error) {
+	if err := checkExtents(extents, 1); err != nil {
+		return nil, fmt.Errorf("topology: grid: %w", err)
+	}
+	dim := 0
+	for _, e := range extents {
+		dim += e - 1
+	}
+	if dim > bitvec.MaxDim {
+		return nil, fmt.Errorf("topology: grid%v needs %d label digits (max %d)", extents, dim, bitvec.MaxDim)
+	}
+	n := prod(extents)
+	b := graph.NewBuilder(n)
+	labels := make([]bitvec.Label, n)
+	coords := make([]int, len(extents))
+	for v := 0; v < n; v++ {
+		decode(v, extents, coords)
+		var l bitvec.Label
+		off := 0
+		for d, c := range coords {
+			for j := 0; j < c; j++ { // unary code: c ones
+				l = l.SetBit(off+j, 1)
+			}
+			off += extents[d] - 1
+		}
+		labels[v] = l
+		for d := range extents {
+			if coords[d]+1 < extents[d] {
+				coords[d]++
+				b.AddEdge(v, encode(coords, extents), 1)
+				coords[d]--
+			}
+		}
+	}
+	return &Topology{Name: gridName(extents), G: b.Build(), Dim: dim, Labels: labels}, nil
+}
+
+// Torus builds an n-dimensional torus with the given extents. Every
+// extent must be even and ≥ 4 (odd cycles are not bipartite, hence not
+// partial cubes; extent 2 would create duplicate edges). Labels
+// concatenate cyclic necklace codes: for a cycle of length 2k, position
+// p's code has bit j = 1 iff p ∈ {j+1, ..., j+k} (mod 2k), giving k
+// digits per dimension and Hamming distance equal to cyclic distance.
+func Torus(extents ...int) (*Topology, error) {
+	if err := checkExtents(extents, 4); err != nil {
+		return nil, fmt.Errorf("topology: torus: %w", err)
+	}
+	dim := 0
+	for _, e := range extents {
+		if e%2 != 0 {
+			return nil, fmt.Errorf("topology: torus extent %d is odd; only even tori are partial cubes", e)
+		}
+		dim += e / 2
+	}
+	if dim > bitvec.MaxDim {
+		return nil, fmt.Errorf("topology: torus%v needs %d label digits (max %d)", extents, dim, bitvec.MaxDim)
+	}
+	n := prod(extents)
+	b := graph.NewBuilder(n)
+	labels := make([]bitvec.Label, n)
+	coords := make([]int, len(extents))
+	for v := 0; v < n; v++ {
+		decode(v, extents, coords)
+		var l bitvec.Label
+		off := 0
+		for d, c := range coords {
+			k := extents[d] / 2
+			for j := 0; j < k; j++ {
+				// bit j set iff c ∈ {j+1, ..., j+k} (mod 2k)
+				diff := c - (j + 1)
+				if diff < 0 {
+					diff += extents[d]
+				}
+				if diff < k {
+					l = l.SetBit(off+j, 1)
+				}
+			}
+			off += k
+		}
+		labels[v] = l
+		for d := range extents {
+			orig := coords[d]
+			coords[d] = (orig + 1) % extents[d]
+			u := encode(coords, extents)
+			coords[d] = orig
+			b.AddEdge(v, u, 1)
+		}
+	}
+	return &Topology{Name: torusName(extents), G: b.Build(), Dim: dim, Labels: labels}, nil
+}
+
+// Hypercube builds the d-dimensional hypercube; vertex ids are their own
+// labels.
+func Hypercube(d int) (*Topology, error) {
+	if d < 0 || d > bitvec.MaxDim {
+		return nil, fmt.Errorf("topology: hypercube dimension %d out of range [0,%d]", d, bitvec.MaxDim)
+	}
+	if d > 30 {
+		return nil, fmt.Errorf("topology: hypercube dimension %d too large to materialize", d)
+	}
+	n := 1 << uint(d)
+	b := graph.NewBuilder(n)
+	labels := make([]bitvec.Label, n)
+	for v := 0; v < n; v++ {
+		labels[v] = bitvec.Label(v)
+		for j := 0; j < d; j++ {
+			u := v ^ (1 << uint(j))
+			if u > v {
+				b.AddEdge(v, u, 1)
+			}
+		}
+	}
+	return &Topology{Name: fmt.Sprintf("%d-dim HQ", d), G: b.Build(), Dim: d, Labels: labels}, nil
+}
+
+// Tree builds a topology from an arbitrary tree given as a parent vector
+// (parent[0] ignored, parent[v] < v for v > 0). Every tree is a partial
+// cube of dimension n−1: digit e is 1 on the child side of edge e.
+// Limited to 65 vertices by the 64-digit label width.
+func Tree(name string, parent []int) (*Topology, error) {
+	n := len(parent)
+	if n == 0 {
+		return nil, fmt.Errorf("topology: empty tree")
+	}
+	if n-1 > bitvec.MaxDim {
+		return nil, fmt.Errorf("topology: tree with %d vertices needs %d label digits (max %d)", n, n-1, bitvec.MaxDim)
+	}
+	b := graph.NewBuilder(n)
+	labels := make([]bitvec.Label, n)
+	for v := 1; v < n; v++ {
+		if parent[v] < 0 || parent[v] >= v {
+			return nil, fmt.Errorf("topology: tree parent[%d] = %d, want in [0,%d)", v, parent[v], v)
+		}
+		b.AddEdge(v, parent[v], 1)
+		// Digit v-1 marks the subtree below edge {v, parent[v]}: v inherits
+		// its parent's label (a prefix-closed walk since parent[v] < v) and
+		// adds its own digit.
+		labels[v] = labels[parent[v]].SetBit(v-1, 1)
+	}
+	return &Topology{Name: name, G: b.Build(), Dim: n - 1, Labels: labels}, nil
+}
+
+// helpers
+
+func checkExtents(extents []int, min int) error {
+	if len(extents) == 0 {
+		return fmt.Errorf("no extents")
+	}
+	n := 1
+	for _, e := range extents {
+		if e < min {
+			return fmt.Errorf("extent %d < %d", e, min)
+		}
+		if n > 1<<26/e {
+			return fmt.Errorf("topology too large")
+		}
+		n *= e
+	}
+	return nil
+}
+
+func prod(xs []int) int {
+	p := 1
+	for _, x := range xs {
+		p *= x
+	}
+	return p
+}
+
+// decode writes the mixed-radix digits of v into coords (first extent
+// varies fastest).
+func decode(v int, extents, coords []int) {
+	for d, e := range extents {
+		coords[d] = v % e
+		v /= e
+	}
+}
+
+func encode(coords, extents []int) int {
+	v, stride := 0, 1
+	for d, e := range extents {
+		v += coords[d] * stride
+		stride *= e
+	}
+	return v
+}
+
+func gridName(extents []int) string {
+	return fmt.Sprintf("%dDGrid%v", len(extents), dims(extents))
+}
+
+func torusName(extents []int) string {
+	return fmt.Sprintf("%dDTorus%v", len(extents), dims(extents))
+}
+
+func dims(extents []int) string {
+	s := "("
+	for i, e := range extents {
+		if i > 0 {
+			s += "x"
+		}
+		s += fmt.Sprint(e)
+	}
+	return s + ")"
+}

@@ -1,0 +1,273 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/partialcube"
+)
+
+func TestGrid2DStructure(t *testing.T) {
+	g, err := Grid(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.P() != 12 {
+		t.Fatalf("P = %d, want 12", g.P())
+	}
+	if g.G.M() != 3*3+4*2 { // horizontal + vertical edges
+		t.Fatalf("M = %d, want 17", g.G.M())
+	}
+	if g.Dim != 3+2 {
+		t.Fatalf("Dim = %d, want 5", g.Dim)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGridLabelsAreManhattan(t *testing.T) {
+	g, err := Grid(5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertex v has coords (v%5, v/5); Hamming distance must equal
+	// Manhattan distance.
+	abs := func(x int) int {
+		if x < 0 {
+			return -x
+		}
+		return x
+	}
+	for u := 0; u < g.P(); u++ {
+		for v := 0; v < g.P(); v++ {
+			man := abs(u%5-v%5) + abs(u/5-v/5)
+			if d := g.Distance(u, v); d != man {
+				t.Fatalf("d(%d,%d) = %d, want Manhattan %d", u, v, d, man)
+			}
+		}
+	}
+}
+
+func TestTorusStructure(t *testing.T) {
+	tor, err := Torus(6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tor.P() != 24 {
+		t.Fatalf("P = %d, want 24", tor.P())
+	}
+	if tor.G.M() != 2*24 { // 2D torus is 4-regular
+		t.Fatalf("M = %d, want 48", tor.G.M())
+	}
+	if tor.Dim != 3+2 {
+		t.Fatalf("Dim = %d, want 5", tor.Dim)
+	}
+	if err := tor.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTorusRejectsOdd(t *testing.T) {
+	if _, err := Torus(5, 4); err == nil {
+		t.Error("odd torus extent must be rejected")
+	}
+	if _, err := Torus(4, 7); err == nil {
+		t.Error("odd torus extent must be rejected")
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	h, err := Hypercube(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.P() != 16 || h.Dim != 4 {
+		t.Fatalf("P=%d Dim=%d, want 16, 4", h.P(), h.Dim)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Labels are the identity.
+	for v := 0; v < 16; v++ {
+		if h.Labels[v] != bitvec.Label(v) {
+			t.Fatalf("label of %d = %v", v, h.Labels[v])
+		}
+	}
+}
+
+func TestTree(t *testing.T) {
+	// Balanced binary tree on 7 vertices.
+	tr, err := Tree("bintree7", []int{0, 0, 0, 1, 1, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.P() != 7 || tr.Dim != 6 {
+		t.Fatalf("P=%d Dim=%d, want 7, 6", tr.P(), tr.Dim)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d := tr.Distance(3, 5); d != 4 { // 3-1-0-2-5
+		t.Errorf("tree distance(3,5) = %d, want 4", d)
+	}
+}
+
+func TestTreeRejectsBadParents(t *testing.T) {
+	if _, err := Tree("bad", []int{0, 2, 1}); err == nil {
+		t.Error("parent[1]=2 should be rejected")
+	}
+	if _, err := Tree("big", make([]int, 70)); err == nil {
+		t.Error("trees over 65 vertices should be rejected")
+	}
+}
+
+func TestPEOf(t *testing.T) {
+	g, _ := Grid(3, 3)
+	for v := 0; v < g.P(); v++ {
+		if got := g.PEOf(g.Labels[v]); got != v {
+			t.Fatalf("PEOf(label of %d) = %d", v, got)
+		}
+	}
+	if g.PEOf(bitvec.Label(1)<<60) != -1 {
+		t.Error("unknown label should map to -1")
+	}
+}
+
+func TestAnalyticMatchesRecognition(t *testing.T) {
+	// The analytic labelings must agree with the Djoković recognizer on
+	// dimension, and both must be isometric.
+	builders := []func() (*Topology, error){
+		func() (*Topology, error) { return Grid(4, 4) },
+		func() (*Topology, error) { return Grid(3, 2, 2) },
+		func() (*Topology, error) { return Torus(4, 6) },
+		func() (*Topology, error) { return Hypercube(3) },
+		func() (*Topology, error) { return Tree("t", []int{0, 0, 1, 1, 0, 4}) },
+	}
+	for _, mk := range builders {
+		tp, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := partialcube.Recognize(tp.G)
+		if err != nil {
+			t.Fatalf("%s: recognition failed: %v", tp.Name, err)
+		}
+		if rec.Dim != tp.Dim {
+			t.Errorf("%s: analytic dim %d != recognized dim %d", tp.Name, tp.Dim, rec.Dim)
+		}
+		if err := tp.Validate(); err != nil {
+			t.Errorf("%s: analytic labeling not isometric: %v", tp.Name, err)
+		}
+	}
+}
+
+func TestPaperCatalog(t *testing.T) {
+	wantP := map[PaperTopology]int{
+		Grid2D16x16:  256,
+		Grid3D8x8x8:  512,
+		Torus2D16x16: 256,
+		Torus3D8x8x8: 512,
+		HQ8:          256,
+	}
+	wantDim := map[PaperTopology]int{
+		Grid2D16x16:  30, // paper Section 7.2: 30 convex cuts
+		Grid3D8x8x8:  21, // 21 convex cuts
+		Torus2D16x16: 16, // minimal isometric dimension (see EXPERIMENTS.md)
+		Torus3D8x8x8: 12,
+		HQ8:          8,
+	}
+	for _, pt := range PaperTopologies() {
+		tp, err := pt.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tp.P() != wantP[pt] {
+			t.Errorf("%s: P = %d, want %d", pt, tp.P(), wantP[pt])
+		}
+		if tp.Dim != wantDim[pt] {
+			t.Errorf("%s: Dim = %d, want %d", pt, tp.Dim, wantDim[pt])
+		}
+		if tp.Name != pt.String() {
+			t.Errorf("%s: topology name %q should match the paper catalog name", pt, tp.Name)
+		}
+		if !strings.Contains(tp.Name, "grid") && !strings.Contains(tp.Name, "torus") && !strings.Contains(tp.Name, "HQ") {
+			t.Errorf("%s: odd name %q", pt, tp.Name)
+		}
+	}
+}
+
+func TestPaperCatalogIsometric(t *testing.T) {
+	if testing.Short() {
+		t.Skip("O(P^2) validation of 512-PE topologies")
+	}
+	for _, pt := range PaperTopologies() {
+		tp := pt.MustBuild()
+		if err := tp.Validate(); err != nil {
+			t.Errorf("%s: %v", pt, err)
+		}
+	}
+}
+
+func TestGrid1DIsPath(t *testing.T) {
+	g, err := Grid(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.P() != 6 || g.G.M() != 5 || g.Dim != 5 {
+		t.Fatalf("1D grid wrong: P=%d M=%d Dim=%d", g.P(), g.G.M(), g.Dim)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d := g.Distance(0, 5); d != 5 {
+		t.Errorf("path end distance = %d, want 5", d)
+	}
+}
+
+func TestTorus4D(t *testing.T) {
+	tor, err := Torus(4, 4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tor.P() != 256 || tor.Dim != 8 {
+		t.Fatalf("4D torus: P=%d Dim=%d, want 256, 8", tor.P(), tor.Dim)
+	}
+	// C4^4 is isomorphic to the 8-hypercube (C4 = Q2); spot-check the
+	// distance distribution from vertex 0: max distance must be 8.
+	ecc := tor.G.Eccentricity(0)
+	if ecc != 8 {
+		t.Errorf("eccentricity = %d, want 8", ecc)
+	}
+	if err := tor.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixedGridShapes(t *testing.T) {
+	for _, ext := range [][]int{{2, 3}, {5, 1}, {2, 2, 2, 2}, {10, 3, 2}} {
+		g, err := Grid(ext...)
+		if err != nil {
+			t.Fatalf("%v: %v", ext, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%v: %v", ext, err)
+		}
+	}
+}
+
+func TestGridErrors(t *testing.T) {
+	if _, err := Grid(); err == nil {
+		t.Error("empty extents should fail")
+	}
+	if _, err := Grid(0, 4); err == nil {
+		t.Error("zero extent should fail")
+	}
+	if _, err := Grid(60, 2); err != nil {
+		t.Errorf("grid(60,2) needs 60 digits, should work: %v", err)
+	}
+	if _, err := Grid(80); err == nil {
+		t.Error("grid(80) needs 79 digits, must fail")
+	}
+}

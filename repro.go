@@ -1,0 +1,196 @@
+// Package repro is the public facade of this reproduction of
+//
+//	Glantz, Predari, Meyerhenke:
+//	"Topology-induced Enhancement of Mappings", ICPP 2018.
+//
+// It wires together the substrates (graphs, processor topologies,
+// partial-cube labelings, a multilevel partitioner, baseline mappers)
+// around the paper's primary contribution, TIMER — a multi-hierarchical
+// label-swapping enhancer for mappings of application graphs onto
+// partial-cube processor topologies.
+//
+// A typical pipeline:
+//
+//	ga, _ := repro.GenerateNetwork("p2p-Gnutella", 0.25, 42) // or ReadGraph
+//	topo, _ := repro.Grid(16, 16)
+//	part, _ := repro.Partition(ga, topo.P(), 0.03, 42)
+//	assign := repro.MapIdentity(part.Part)
+//	res, _ := repro.Enhance(ga, topo, assign, repro.TimerOptions{NumHierarchies: 50, Seed: 42})
+//	fmt.Println(res.CocoBefore, "->", res.CocoAfter)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of every table and figure of the paper.
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mapping"
+	"repro/internal/netgen"
+	"repro/internal/partition"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Re-exported types; see the internal packages for full documentation.
+type (
+	// Graph is a weighted undirected graph in CSR form.
+	Graph = graph.Graph
+	// Builder incrementally constructs a Graph.
+	Builder = graph.Builder
+	// Topology is a processor graph with its partial-cube labeling.
+	Topology = topology.Topology
+	// TimerOptions configures the TIMER enhancer (NH, seed).
+	TimerOptions = core.Options
+	// TimerResult reports a TIMER run (Coco before/after, mapping).
+	TimerResult = core.Result
+	// PartitionResult reports a k-way partition with quality metrics.
+	PartitionResult = partition.Result
+	// DRBConfig configures the SCOTCH-style dual-recursive-bisection
+	// mapper.
+	DRBConfig = mapping.DRBConfig
+)
+
+// NewBuilder creates a graph builder for n vertices.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// ReadGraph loads a METIS/Chaco format graph file.
+func ReadGraph(path string) (*Graph, error) { return graph.ReadMETISFile(path) }
+
+// GenerateNetwork builds a synthetic stand-in for one of the paper's
+// Table 1 complex networks ("p2p-Gnutella", "as-skitter", ...) at the
+// given scale in (0, 1].
+func GenerateNetwork(name string, scale float64, seed int64) (*Graph, error) {
+	spec, err := netgen.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Generate(scale, seed), nil
+}
+
+// NetworkNames lists the names of the Table 1 suite.
+func NetworkNames() []string {
+	var names []string
+	for _, s := range netgen.Catalog() {
+		names = append(names, s.Name)
+	}
+	return names
+}
+
+// Grid builds an n-dimensional mesh topology (a partial cube).
+func Grid(extents ...int) (*Topology, error) { return topology.Grid(extents...) }
+
+// Torus builds an even torus topology (a partial cube).
+func Torus(extents ...int) (*Topology, error) { return topology.Torus(extents...) }
+
+// Hypercube builds the d-dimensional hypercube topology.
+func Hypercube(d int) (*Topology, error) { return topology.Hypercube(d) }
+
+// TopologyFromGraph recognizes an arbitrary graph as a partial cube and
+// labels it (paper Section 3), or fails if it is not a partial cube.
+func TopologyFromGraph(name string, g *Graph) (*Topology, error) {
+	return topology.FromGraph(name, g)
+}
+
+// TreeTopology builds a tree-shaped topology from a parent vector
+// (parent[v] < v for v > 0; parent[0] ignored). Every tree is a partial
+// cube with one label digit per edge, so trees are limited to 65
+// vertices by the 64-digit labels.
+func TreeTopology(name string, parent []int) (*Topology, error) {
+	return topology.Tree(name, parent)
+}
+
+// PaperTopology builds one of the paper's five processor graphs by name:
+// "grid16x16", "grid8x8x8", "torus16x16", "torus8x8x8", "8-dimHQ".
+func PaperTopology(name string) (*Topology, error) {
+	for _, pt := range topology.PaperTopologies() {
+		if pt.String() == name {
+			return pt.Build()
+		}
+	}
+	return nil, fmt.Errorf("repro: unknown paper topology %q (want one of grid16x16, grid8x8x8, torus16x16, torus8x8x8, 8-dimHQ)", name)
+}
+
+// Partition computes an ε-balanced k-way partition of g with the
+// multilevel partitioner (the repository's KaHIP stand-in).
+func Partition(g *Graph, k int, eps float64, seed int64) (*PartitionResult, error) {
+	return partition.Partition(g, partition.Config{K: k, Epsilon: eps, Seed: seed})
+}
+
+// MapIdentity turns a partition into a mapping by placing block i on PE
+// i (the paper's IDENTITY baseline, case c2).
+func MapIdentity(part []int32) []int32 { return mapping.FromPartition(part) }
+
+// MapGreedyAllC maps a partition onto topo with the GREEDYALLC baseline
+// (case c3): communication graph construction plus greedy all-to-mapped
+// placement.
+func MapGreedyAllC(ga *Graph, part []int32, topo *Topology) ([]int32, error) {
+	gc := mapping.CommGraph(ga, part, topo.P())
+	nu, err := mapping.GreedyAllC(gc, topo)
+	if err != nil {
+		return nil, err
+	}
+	return mapping.Compose(part, nu), nil
+}
+
+// MapGreedyMin maps a partition onto topo with the GREEDYMIN baseline
+// (case c4, the LibTopoMap-style construction).
+func MapGreedyMin(ga *Graph, part []int32, topo *Topology) ([]int32, error) {
+	gc := mapping.CommGraph(ga, part, topo.P())
+	nu, err := mapping.GreedyMin(gc, topo)
+	if err != nil {
+		return nil, err
+	}
+	return mapping.Compose(part, nu), nil
+}
+
+// MapDRB maps ga onto topo by dual recursive bipartitioning (the
+// SCOTCH-style baseline of case c1).
+func MapDRB(ga *Graph, topo *Topology, cfg DRBConfig) ([]int32, error) {
+	return mapping.DRB(ga, topo, cfg)
+}
+
+// Enhance runs TIMER (paper Algorithm 1) on an initial mapping and
+// returns the enhanced mapping together with before/after metrics. The
+// input mapping's balance is preserved exactly.
+func Enhance(ga *Graph, topo *Topology, assign []int32, opt TimerOptions) (*TimerResult, error) {
+	return core.Enhance(ga, topo, assign, opt)
+}
+
+// Coco evaluates the paper's hop-byte objective Eq. (3) for a mapping.
+func Coco(ga *Graph, assign []int32, topo *Topology) int64 {
+	return mapping.Coco(ga, assign, topo)
+}
+
+// Cut evaluates the edge-cut of a mapping (weight of edges whose
+// endpoints live on different PEs).
+func Cut(ga *Graph, assign []int32) int64 { return mapping.Cut(ga, assign) }
+
+// ValidateMapping checks range and (for eps ≥ 0) the balance constraint
+// of paper Eq. (1).
+func ValidateMapping(ga *Graph, assign []int32, topo *Topology, eps float64) error {
+	return mapping.Validate(ga, assign, topo, eps)
+}
+
+// MappingReport is the full quality report of a mapping (Coco, cut,
+// dilation, per-convex-cut traffic).
+type MappingReport = mapping.Report
+
+// EvaluateMapping computes a MappingReport.
+func EvaluateMapping(ga *Graph, assign []int32, topo *Topology) MappingReport {
+	return mapping.Evaluate(ga, assign, topo)
+}
+
+// RoutingResult reports a shortest-path routing simulation (total
+// hop-bytes — always equal to Coco — plus link congestion statistics).
+type RoutingResult = routing.Result
+
+// SimulateRouting routes every application edge's traffic along a
+// canonical shortest path in the topology and returns link loads. It
+// makes the paper's "routing on shortest paths" abstraction executable
+// and exposes congestion, which Coco ignores.
+func SimulateRouting(ga *Graph, assign []int32, topo *Topology) (*RoutingResult, error) {
+	return routing.Simulate(ga, assign, topo)
+}

@@ -1,0 +1,136 @@
+package repro
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFacadePipeline(t *testing.T) {
+	ga, err := GenerateNetwork("p2p-Gnutella", 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := Grid(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := Partition(ga, topo.P(), 0.03, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := MapIdentity(part.Part)
+	if err := ValidateMapping(ga, assign, topo, 0.03); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Enhance(ga, topo, assign, TimerOptions{NumHierarchies: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CocoAfter > res.CocoBefore {
+		t.Errorf("TIMER worsened Coco: %d -> %d", res.CocoBefore, res.CocoAfter)
+	}
+	if Coco(ga, res.Assign, topo) != res.CocoAfter {
+		t.Error("reported CocoAfter disagrees with recomputation")
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	ga, err := GenerateNetwork("PGPgiantcompo", 0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := Hypercube(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := Partition(ga, topo.P(), 0.03, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		mk   func() ([]int32, error)
+	}{
+		{"identity", func() ([]int32, error) { return MapIdentity(part.Part), nil }},
+		{"allc", func() ([]int32, error) { return MapGreedyAllC(ga, part.Part, topo) }},
+		{"min", func() ([]int32, error) { return MapGreedyMin(ga, part.Part, topo) }},
+		{"drb", func() ([]int32, error) { return MapDRB(ga, topo, DRBConfig{Seed: 2, Fast: true}) }},
+	} {
+		assign, err := tc.mk()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if err := ValidateMapping(ga, assign, topo, -1); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if Coco(ga, assign, topo) <= 0 || Cut(ga, assign) <= 0 {
+			t.Fatalf("%s: degenerate metrics", tc.name)
+		}
+	}
+}
+
+func TestFacadeTopologies(t *testing.T) {
+	for _, name := range []string{"grid16x16", "grid8x8x8", "torus16x16", "torus8x8x8", "8-dimHQ"} {
+		topo, err := PaperTopology(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if topo.P() != 256 && topo.P() != 512 {
+			t.Errorf("%s: %d PEs", name, topo.P())
+		}
+	}
+	if _, err := PaperTopology("nope"); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	tor, err := Torus(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tor.P() != 16 {
+		t.Error("torus size wrong")
+	}
+	if _, err := TopologyFromGraph("K3", Complete3()); err == nil {
+		t.Error("K3 recognized as partial cube")
+	}
+}
+
+// Complete3 builds K3 (not a partial cube) for the recognition test.
+func Complete3() *Graph {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(0, 2, 1)
+	return b.Build()
+}
+
+func TestFacadeGraphIO(t *testing.T) {
+	ga, err := GenerateNetwork("as-22july06", 0.02, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.metis")
+	if err := ga.WriteMETISFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != ga.N() || back.M() != ga.M() {
+		t.Errorf("round trip changed graph: %v -> %v", ga, back)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetworkNames(t *testing.T) {
+	names := NetworkNames()
+	if len(names) != 15 {
+		t.Fatalf("%d networks, want 15", len(names))
+	}
+	if _, err := GenerateNetwork("not-a-network", 0.1, 1); err == nil {
+		t.Error("unknown network accepted")
+	}
+}
