@@ -14,6 +14,7 @@ package repro
 import (
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/netgen"
 	"repro/internal/partition"
@@ -153,6 +154,48 @@ func BenchmarkTimerEnhance(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkEngineTopologyCache measures one mapping job through the
+// engine with a cold topology cache (fresh engine per iteration, the
+// labeling is rebuilt every time) versus a warm one (shared engine, the
+// labeling is built once) — the latency win the engine's shared cache
+// buys every request after the first.
+func BenchmarkEngineTopologyCache(b *testing.B) {
+	spec := engine.JobSpec{
+		Graph:          engine.GraphSpec{Network: "p2p-Gnutella", Scale: 0.05, Seed: 11},
+		Topology:       "torus:16x16",
+		Case:           engine.C2Identity,
+		Seed:           42,
+		NumHierarchies: 3,
+	}
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng := engine.New(engine.Options{Workers: 1})
+			if _, _, err := eng.Run(spec); err != nil {
+				b.Fatal(err)
+			}
+			eng.Close()
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		eng := engine.New(engine.Options{Workers: 1})
+		defer eng.Close()
+		if _, err := eng.Topology(spec.Topology); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := eng.Run(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		hits, misses := eng.Cache().Stats()
+		b.ReportMetric(float64(hits)/float64(b.N), "cache_hits/op")
+		b.ReportMetric(float64(misses)/float64(b.N), "cache_misses/op")
+	})
 }
 
 // BenchmarkPartitioner measures the KaHIP-substitute partitioner at the

@@ -42,6 +42,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	defer suite.Close()
 	progress := func(msg string) {
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "[%s] %s\n", time.Now().Format("15:04:05"), msg)

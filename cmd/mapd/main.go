@@ -1,0 +1,70 @@
+// Command mapd serves the concurrent mapping engine over HTTP: submit
+// partition→map→enhance jobs, poll their status and stage timings, and
+// inspect the shared topology cache.
+//
+// Usage:
+//
+//	mapd                                     # listen on :8080
+//	mapd -addr :9000 -workers 8 -queue 256
+//	mapd -prewarm grid:16x16,hypercube:8     # build labelings at boot
+//
+// Example session:
+//
+//	curl -s localhost:8080/v1/jobs -d '{
+//	  "graph": {"network": "p2p-Gnutella", "scale": 0.05},
+//	  "topology": "grid:8x8", "case": "identity",
+//	  "num_hierarchies": 10, "seed": 42}'
+//	curl -s localhost:8080/v1/jobs/job-000001
+//	curl -s localhost:8080/v1/topologies
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/topology"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "pipeline worker count (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 0, "job queue capacity (0 = default)")
+		prewarm = flag.String("prewarm", "", "comma-separated topology specs to build at boot ('paper' = the paper's five)")
+	)
+	flag.Parse()
+
+	eng := engine.New(engine.Options{Workers: *workers, QueueCap: *queue})
+	defer eng.Close()
+
+	if *prewarm != "" {
+		specs := strings.Split(*prewarm, ",")
+		if *prewarm == "paper" {
+			specs = topology.KnownSpecs()
+		}
+		for _, err := range eng.Cache().Prewarm(specs...) {
+			log.Printf("mapd: prewarm: %v", err)
+		}
+		for _, info := range eng.Cache().Snapshot() {
+			log.Printf("mapd: cached %s (%d PEs, dim %d) in %.3fs", info.Spec, info.PEs, info.Dim, info.BuildSeconds)
+		}
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(eng),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       60 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	log.Printf("mapd: listening on %s (%d workers)", *addr, eng.Workers())
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatal(fmt.Errorf("mapd: %w", err))
+	}
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/engine"
+)
+
+// server exposes an engine over HTTP:
+//
+//	POST /v1/jobs          submit a mapping job (engine.JobSpec JSON)
+//	POST /v1/batches       submit a batch (engine.BatchSpec JSON)
+//	GET  /v1/jobs          list all jobs
+//	GET  /v1/jobs/{id}     one job: status, stage timings, result
+//	GET  /v1/topologies    topology cache contents + hit/miss stats
+//	GET  /healthz          liveness + pool stats
+type server struct {
+	eng *engine.Engine
+}
+
+// newServer builds the mapd HTTP handler around an engine.
+func newServer(eng *engine.Engine) http.Handler {
+	s := &server{eng: eng}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.submitJob)
+	mux.HandleFunc("POST /v1/batches", s.submitBatch)
+	mux.HandleFunc("GET /v1/jobs", s.listJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
+	mux.HandleFunc("GET /v1/topologies", s.topologies)
+	mux.HandleFunc("GET /healthz", s.healthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// maxBodyBytes bounds request bodies: a single oversized inline edge
+// list must not be able to exhaust the server's memory.
+const maxBodyBytes = 64 << 20
+
+func (s *server) submitJob(w http.ResponseWriter, r *http.Request) {
+	var spec engine.JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
+		return
+	}
+	job, err := s.eng.Submit(spec)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+func (s *server) submitBatch(w http.ResponseWriter, r *http.Request) {
+	var spec engine.BatchSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding batch spec: %w", err))
+		return
+	}
+	ids, err := s.eng.SubmitBatch(spec)
+	if err != nil {
+		// Jobs enqueued before the failure keep running; hand their IDs
+		// back so the client can still track or wait on them. Capacity
+		// errors are transient and retryable, hence 503 rather than 400.
+		status := http.StatusBadRequest
+		if errors.Is(err, engine.ErrQueueFull) || errors.Is(err, engine.ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, map[string]any{
+			"error":   err.Error(),
+			"job_ids": ids,
+		})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"job_ids": ids})
+}
+
+func (s *server) listJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := s.eng.Jobs()
+	// The list is a summary view: re-serializing every retained
+	// assignment (up to 16MB each) or the inline edge lists of
+	// still-pending specs would bloat the response; fetch a single job
+	// by ID for its full record.
+	for i := range jobs {
+		if jobs[i].Result != nil && jobs[i].Result.Assignment != nil {
+			cp := *jobs[i].Result
+			cp.Assignment = nil
+			jobs[i].Result = &cp
+		}
+		jobs[i].Spec.Graph.Edges = nil
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": jobs})
+}
+
+func (s *server) getJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.eng.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *server) topologies(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.eng.Cache().Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"topologies": s.eng.Cache().Snapshot(),
+		"hits":       hits,
+		"misses":     misses,
+	})
+}
+
+func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"workers":     s.eng.Workers(),
+		"queue_depth": s.eng.QueueDepth(),
+	})
+}

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *engine.Engine) {
+	t.Helper()
+	eng := engine.New(engine.Options{Workers: 2})
+	srv := httptest.NewServer(newServer(eng))
+	t.Cleanup(func() {
+		srv.Close()
+		eng.Close()
+	})
+	return srv, eng
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decoding %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func postJSON(t *testing.T, url, body string, out any) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decoding %s response: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func waitDone(t *testing.T, srv *httptest.Server, id string) engine.Job {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var job engine.Job
+		if code := getJSON(t, srv.URL+"/v1/jobs/"+id, &job); code != http.StatusOK {
+			t.Fatalf("GET job %s: status %d", id, code)
+		}
+		switch job.Status {
+		case engine.StatusDone, engine.StatusFailed:
+			return job
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after 30s", id, job.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+const jobBody = `{
+	"graph": {"network": "p2p-Gnutella", "scale": 0.05, "seed": 11},
+	"topology": "grid:4x4",
+	"case": "identity",
+	"seed": 42,
+	"num_hierarchies": 4
+}`
+
+// TestMapdRoundTrip is the end-to-end acceptance check: submit a netgen
+// job, poll it to completion, verify the Coco improvement, then submit
+// the same topology spec again and observe the cache reuse via
+// /v1/topologies.
+func TestMapdRoundTrip(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	var health map[string]any
+	if code := getJSON(t, srv.URL+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	if health["status"] != "ok" {
+		t.Fatalf("healthz = %v", health)
+	}
+
+	var submitted engine.Job
+	if code := postJSON(t, srv.URL+"/v1/jobs", jobBody, &submitted); code != http.StatusAccepted {
+		t.Fatalf("POST /v1/jobs: status %d", code)
+	}
+	job := waitDone(t, srv, submitted.ID)
+	if job.Status != engine.StatusDone {
+		t.Fatalf("job failed: %s", job.Error)
+	}
+	if job.Result.CocoAfter > job.Result.CocoBefore || job.Result.CocoBefore <= 0 {
+		t.Errorf("Coco %d -> %d, want improvement", job.Result.CocoBefore, job.Result.CocoAfter)
+	}
+	if len(job.Stages) == 0 {
+		t.Error("no stage timings in job status")
+	}
+
+	// Second submission of the same topology spec must reuse the cached
+	// labeling.
+	var second engine.Job
+	postJSON(t, srv.URL+"/v1/jobs", jobBody, &second)
+	if done := waitDone(t, srv, second.ID); done.Status != engine.StatusDone {
+		t.Fatalf("second job failed: %s", done.Error)
+	}
+
+	var topos struct {
+		Topologies []engine.CacheInfo `json:"topologies"`
+		Hits       int64              `json:"hits"`
+		Misses     int64              `json:"misses"`
+	}
+	if code := getJSON(t, srv.URL+"/v1/topologies", &topos); code != http.StatusOK {
+		t.Fatalf("GET /v1/topologies: %d", code)
+	}
+	if len(topos.Topologies) != 1 || topos.Topologies[0].Spec != "grid:4x4" {
+		t.Fatalf("topologies = %+v, want the one cached grid", topos.Topologies)
+	}
+	if topos.Misses != 1 || topos.Hits < 1 {
+		t.Errorf("cache stats hits=%d misses=%d, want one build and ≥1 reuse", topos.Hits, topos.Misses)
+	}
+
+	// Determinism across the HTTP boundary: both jobs used seed 42.
+	if job.Result.CocoAfter != 0 {
+		var a, b engine.Job
+		getJSON(t, srv.URL+"/v1/jobs/"+submitted.ID, &a)
+		getJSON(t, srv.URL+"/v1/jobs/"+second.ID, &b)
+		if a.Result.CocoAfter != b.Result.CocoAfter || a.Result.CutAfter != b.Result.CutAfter {
+			t.Errorf("same spec, same seed, different results: %+v vs %+v", a.Result, b.Result)
+		}
+	}
+
+	var list struct {
+		Jobs []engine.Job `json:"jobs"`
+	}
+	if code := getJSON(t, srv.URL+"/v1/jobs", &list); code != http.StatusOK {
+		t.Fatalf("GET /v1/jobs: %d", code)
+	}
+	if len(list.Jobs) != 2 {
+		t.Errorf("job list has %d entries, want 2", len(list.Jobs))
+	}
+}
+
+func TestMapdErrors(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	var out map[string]any
+	if code := postJSON(t, srv.URL+"/v1/jobs", `{"bad json`, &out); code != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d, want 400", code)
+	}
+	if code := postJSON(t, srv.URL+"/v1/jobs", `{"unknown_field": 1}`, &out); code != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d, want 400", code)
+	}
+	if code := getJSON(t, srv.URL+"/v1/jobs/job-999999", &out); code != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", code)
+	}
+	// A job with a bad topology is accepted, then fails asynchronously.
+	var job engine.Job
+	if code := postJSON(t, srv.URL+"/v1/jobs", `{"graph": {"n": 9, "edges": [[0,1,1]]}, "topology": "bogus"}`, &job); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	if done := waitDone(t, srv, job.ID); done.Status != engine.StatusFailed {
+		t.Errorf("bad-topology job status %s, want failed", done.Status)
+	}
+}
+
+func TestMapdBatch(t *testing.T) {
+	srv, _ := newTestServer(t)
+	var out struct {
+		JobIDs []string `json:"job_ids"`
+	}
+	body := `{
+		"graphs": [{"network": "p2p-Gnutella", "scale": 0.05, "seed": 11}],
+		"topologies": ["grid:4x4", "hypercube:4"],
+		"case": "identity",
+		"reps": 2,
+		"num_hierarchies": 3
+	}`
+	if code := postJSON(t, srv.URL+"/v1/batches", body, &out); code != http.StatusAccepted {
+		t.Fatalf("POST /v1/batches: %d", code)
+	}
+	if len(out.JobIDs) != 4 {
+		t.Fatalf("batch returned %d jobs, want 4", len(out.JobIDs))
+	}
+	for _, id := range out.JobIDs {
+		if done := waitDone(t, srv, id); done.Status != engine.StatusDone {
+			t.Fatalf("batch job %s: %s (%s)", id, done.Status, done.Error)
+		}
+	}
+}

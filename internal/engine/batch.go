@@ -1,0 +1,143 @@
+package engine
+
+import "fmt"
+
+// BatchSpec fans a set of graphs out over a set of topologies: every
+// (graph, topology) pair becomes Reps jobs, all flowing through the
+// engine's worker pool. One graph × many topologies answers "where does
+// my application map best"; many graphs × one topology sweeps a
+// workload suite over a machine (the paper's Section 7 evaluation is
+// exactly this shape, once per case).
+type BatchSpec struct {
+	// Graphs are the application graphs (at least one).
+	Graphs []GraphSpec `json:"graphs"`
+	// Topologies are canonical topology specs (at least one).
+	Topologies []string `json:"topologies"`
+
+	Case Case `json:"case"`
+	// Reps runs each (graph, topology) pair this many times with
+	// derived seeds (default 1).
+	Reps int `json:"reps,omitempty"`
+
+	Epsilon        float64 `json:"epsilon,omitempty"`
+	Seed           int64   `json:"seed,omitempty"`
+	NumHierarchies int     `json:"num_hierarchies,omitempty"`
+	TimerWorkers   int     `json:"timer_workers,omitempty"`
+
+	// SkipTooSmall drops (graph, topology) pairs where the graph has no
+	// more vertices than the topology has PEs, instead of failing them.
+	SkipTooSmall bool `json:"skip_too_small,omitempty"`
+}
+
+// BatchSeed derives the seed of repetition rep of a batch with base
+// seed. The spreading constants (and the 0-based case offset) match the
+// evaluation harness, so a batch reproduces the experiments' per-rep
+// seeds.
+func BatchSeed(base int64, rep int, c Case) int64 {
+	return base + int64(rep)*7919 + int64(c.orDefault()-C1SCOTCH)*104729
+}
+
+// SubmitBatch expands the batch into jobs and enqueues them all,
+// returning the job IDs in fan-out order (graphs outermost, then
+// topologies, then reps). Jobs skipped by SkipTooSmall contribute an
+// empty ID at their position, so the slice shape stays rectangular.
+func (e *Engine) SubmitBatch(b BatchSpec) ([]string, error) {
+	if len(b.Graphs) == 0 || len(b.Topologies) == 0 {
+		return nil, fmt.Errorf("engine: batch needs at least one graph and one topology")
+	}
+	reps := b.Reps
+	if reps <= 0 {
+		reps = 1
+	}
+	// A batch larger than the retention window could have its earliest
+	// finished jobs evicted before RunBatch collects them; reject it
+	// outright instead of silently losing results.
+	if total := len(b.Graphs) * len(b.Topologies) * reps; total > e.opt.RetainJobs {
+		return nil, fmt.Errorf("engine: batch expands to %d jobs, exceeding the retention window of %d", total, e.opt.RetainJobs)
+	}
+	seed := b.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	var ids []string
+	for _, gs := range b.Graphs {
+		// Materialize each graph exactly once, shared by all its jobs:
+		// repetitions must vary only the pipeline seed, not the graph
+		// itself (a netgen spec without an explicit Seed would otherwise
+		// generate a different random graph per rep), and fanning one
+		// instance over topologies × reps must not re-run the generator
+		// or hold per-job copies. This matches the evaluation harness,
+		// which runs all reps on one fixed instance. The cost: batches
+		// naming paper-scale netgen graphs pay their generation
+		// synchronously at submit time.
+		ga, err := gs.materialize(seed)
+		if err != nil {
+			return ids, err
+		}
+		gs.G = ga
+		for _, topoSpec := range b.Topologies {
+			skip := false
+			if b.SkipTooSmall {
+				topo, err := e.cache.Get(topoSpec)
+				if err != nil {
+					return ids, err
+				}
+				skip = ga.N() <= topo.P()
+			}
+			for rep := 0; rep < reps; rep++ {
+				if skip {
+					ids = append(ids, "")
+					continue
+				}
+				job, err := e.Submit(JobSpec{
+					Graph:          gs,
+					Topology:       topoSpec,
+					Case:           b.Case,
+					Epsilon:        b.Epsilon,
+					Seed:           BatchSeed(seed, rep, b.Case),
+					NumHierarchies: b.NumHierarchies,
+					TimerWorkers:   b.TimerWorkers,
+				})
+				if err != nil {
+					return ids, err
+				}
+				ids = append(ids, job.ID)
+			}
+		}
+	}
+	return ids, nil
+}
+
+// RunBatch submits the batch and waits for every job, returning final
+// snapshots in fan-out order. Skipped pairs yield zero-value Jobs with
+// empty IDs. Individual job failures do not abort the batch; inspect
+// each snapshot's Status. If submission fails partway (e.g.
+// ErrQueueFull), the jobs already enqueued are still awaited and their
+// snapshots returned alongside the error — they are running regardless,
+// so the caller must not lose track of them.
+//
+// Known limitation: the retention-window guard in SubmitBatch only
+// accounts for this batch's own jobs. If *concurrent* submissions push
+// the engine past RetainJobs while a large batch is in flight, its
+// earliest finished jobs can be evicted before collection and come back
+// as zero-value snapshots with an "unknown job" error. Size RetainJobs
+// to cover the peak combined job volume when running large batches
+// concurrently.
+func (e *Engine) RunBatch(b BatchSpec) ([]Job, error) {
+	ids, submitErr := e.SubmitBatch(b)
+	out := make([]Job, len(ids))
+	for i, id := range ids {
+		if id == "" {
+			continue
+		}
+		j, err := e.Wait(id)
+		if err != nil {
+			if submitErr == nil {
+				submitErr = err
+			}
+			continue
+		}
+		out[i] = j
+	}
+	return out, submitErr
+}

@@ -1,0 +1,207 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/topology"
+)
+
+// TopologyCache builds partial-cube topologies on demand and shares them
+// read-only across requests. Labelings are expensive (O(P) generators,
+// O(|Ep|²) recognition for arbitrary graphs) and immutable once built,
+// so the cache keys them by canonical spec string and builds each one
+// exactly once, even under concurrent first requests for the same spec.
+type TopologyCache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	order   []string // least-recently-used first, for size-cap eviction
+	hits    int64
+	misses  int64
+}
+
+type cacheEntry struct {
+	spec  string
+	ready chan struct{} // closed when topo/err are set
+	topo  *topology.Topology
+	err   error
+
+	buildSeconds float64
+	hits         int64 // accesses beyond the building one; under cache mu
+}
+
+// NewTopologyCache creates an empty cache.
+func NewTopologyCache() *TopologyCache {
+	return &TopologyCache{entries: make(map[string]*cacheEntry)}
+}
+
+// maxCachePEs caps the size of topologies the cache will build: specs
+// arrive over an unauthenticated HTTP surface, and something like
+// "hypercube:30" would attempt tens of GB of allocation — an OOM kill
+// that recover() cannot catch. 2^16 PEs is two orders of magnitude
+// beyond the paper's machines while keeping builds fast and small.
+const maxCachePEs = 1 << 16
+
+// maxValidatePEs bounds the construction-time isometry check:
+// Topology.Validate is O(P·(P+E)) all-pairs BFS, affordable insurance
+// at paper scale but a worker-pinning liability beyond it. Larger
+// (still capped) topologies trust the analytic generators, which the
+// topology package cross-checks against the recognizer in its tests.
+const maxValidatePEs = 1 << 12
+
+// maxCacheEntries bounds the number of cached specs: the spec grammar
+// admits unboundedly many distinct strings ("grid:2x3x5x7x…"), so an
+// unauthenticated client must not be able to grow the entry map
+// forever. When full, the oldest fully-built entry is evicted; shared
+// topologies already handed to jobs stay alive through their own
+// references.
+const maxCacheEntries = 4096
+
+// Get returns the topology for spec, building and caching it on first
+// use. Concurrent callers asking for the same spec share one build: the
+// first caller constructs the labeling, the rest block until it is
+// ready. Failed builds are cached too (the same bad spec keeps failing
+// without re-running recognition).
+func (c *TopologyCache) Get(spec string) (*topology.Topology, error) {
+	parsed, err := topology.ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	if p := parsed.PEs(); p > maxCachePEs {
+		return nil, fmt.Errorf("engine: topology %s has %d PEs, exceeding the serving limit of %d", parsed, p, maxCachePEs)
+	}
+	key := parsed.String()
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		e.hits++
+		// Refresh recency so size-cap eviction is LRU, not FIFO: a churn
+		// of throwaway specs must not push out the hot entries.
+		for i, k := range c.order {
+			if k == key {
+				c.order = append(append(c.order[:i], c.order[i+1:]...), key)
+				break
+			}
+		}
+		c.mu.Unlock()
+		<-e.ready
+		return e.topo, e.err
+	}
+	e := &cacheEntry{spec: key, ready: make(chan struct{})}
+	c.entries[key] = e
+	c.order = append(c.order, key)
+	c.misses++
+	c.evictLocked()
+	c.mu.Unlock()
+
+	t0 := time.Now()
+	e.topo, e.err = parsed.Build()
+	if e.err == nil {
+		// The cache serves this labeling to every future job, so verify
+		// isometry once here instead of trusting the generator — but
+		// only at paper scale; see maxValidatePEs. Pay the lazy PEOf
+		// index build up front either way.
+		if e.topo.P() <= maxValidatePEs {
+			if err := e.topo.Validate(); err != nil {
+				e.topo, e.err = nil, err
+			}
+		}
+	}
+	if e.err == nil {
+		e.topo.PEOf(e.topo.Labels[0])
+	}
+	e.buildSeconds = time.Since(t0).Seconds()
+	close(e.ready)
+	return e.topo, e.err
+}
+
+// evictLocked drops the oldest fully-built entries while the cache
+// exceeds maxCacheEntries. Entries still building are skipped: their
+// waiters hold the pointer and must see the close of ready. Caller
+// holds c.mu.
+func (c *TopologyCache) evictLocked() {
+	for len(c.order) > maxCacheEntries {
+		evicted := false
+		for i, key := range c.order {
+			e := c.entries[key]
+			select {
+			case <-e.ready:
+				delete(c.entries, key)
+				c.order = append(c.order[:i], c.order[i+1:]...)
+				evicted = true
+			default:
+				continue
+			}
+			break
+		}
+		if !evicted {
+			return
+		}
+	}
+}
+
+// Stats returns the global hit/miss counters. A "miss" is a build
+// (including failed ones); a "hit" is any later access to the entry.
+func (c *TopologyCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// CacheInfo describes one cached topology for introspection endpoints.
+type CacheInfo struct {
+	Spec         string  `json:"spec"`
+	PEs          int     `json:"pes"`
+	Dim          int     `json:"dim"`
+	BuildSeconds float64 `json:"build_seconds"`
+	Hits         int64   `json:"hits"`
+	Failed       bool    `json:"failed,omitempty"`
+	Error        string  `json:"error,omitempty"`
+}
+
+// Snapshot lists the cache contents sorted by spec. Entries still being
+// built are skipped (they have no stats yet).
+func (c *TopologyCache) Snapshot() []CacheInfo {
+	c.mu.Lock()
+	entries := make([]*cacheEntry, 0, len(c.entries))
+	hits := make([]int64, 0, len(c.entries))
+	for _, e := range c.entries {
+		entries = append(entries, e)
+		hits = append(hits, e.hits)
+	}
+	c.mu.Unlock()
+
+	var out []CacheInfo
+	for i, e := range entries {
+		select {
+		case <-e.ready:
+		default:
+			continue // build in flight
+		}
+		info := CacheInfo{Spec: e.spec, BuildSeconds: e.buildSeconds, Hits: hits[i]}
+		if e.err != nil {
+			info.Failed = true
+			info.Error = e.err.Error()
+		} else {
+			info.PEs = e.topo.P()
+			info.Dim = e.topo.Dim
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Spec < out[j].Spec })
+	return out
+}
+
+// Prewarm builds the given specs eagerly (errors are reported, not
+// fatal: a bad spec leaves a failed entry behind).
+func (c *TopologyCache) Prewarm(specs ...string) []error {
+	var errs []error
+	for _, s := range specs {
+		if _, err := c.Get(s); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errs
+}

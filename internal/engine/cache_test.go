@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewTopologyCache()
+	t1, err := c.Get("grid:4x4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := c.Stats(); hits != 0 || misses != 1 {
+		t.Errorf("after first Get: hits=%d misses=%d, want 0/1", hits, misses)
+	}
+	// Same topology under a different spelling must hit the same entry.
+	t2, err := c.Get("GRID:4x4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 {
+		t.Error("cache returned distinct topologies for equivalent specs")
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Errorf("after second Get: hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	// A different spec is a new miss.
+	if _, err := c.Get("hypercube:3"); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 2 {
+		t.Errorf("after third Get: hits=%d misses=%d, want 1/2", hits, misses)
+	}
+
+	snap := c.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d entries, want 2", len(snap))
+	}
+	if snap[0].Spec != "grid:4x4" || snap[1].Spec != "hypercube:3" {
+		t.Errorf("snapshot not sorted by spec: %+v", snap)
+	}
+	if snap[0].Hits != 1 || snap[0].PEs != 16 {
+		t.Errorf("grid entry: %+v, want 1 hit, 16 PEs", snap[0])
+	}
+}
+
+func TestCacheBadSpec(t *testing.T) {
+	c := NewTopologyCache()
+	if _, err := c.Get("nonsense"); err == nil {
+		t.Fatal("bad spec succeeded")
+	}
+	// A spec that parses but cannot build leaves a failed entry behind.
+	if _, err := c.Get("torus:5x5"); err == nil {
+		t.Fatal("odd torus succeeded")
+	}
+	if _, err := c.Get("torus:5x5"); err == nil {
+		t.Fatal("odd torus succeeded on cached retry")
+	}
+	snap := c.Snapshot()
+	if len(snap) != 1 || !snap[0].Failed {
+		t.Errorf("snapshot = %+v, want one failed entry", snap)
+	}
+}
+
+func TestCacheConcurrentFirstUseBuildsOnce(t *testing.T) {
+	c := NewTopologyCache()
+	const n = 16
+	topos := make([]interface{}, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			topo, err := c.Get("grid:8x8")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			topos[i] = topo
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if topos[i] != topos[0] {
+			t.Fatal("concurrent first use produced distinct topology objects")
+		}
+	}
+	if _, misses := c.Stats(); misses != 1 {
+		t.Errorf("misses = %d, want exactly one build", misses)
+	}
+}
+
+func TestPrewarm(t *testing.T) {
+	c := NewTopologyCache()
+	errs := c.Prewarm("grid:4x4", "bogus", "hypercube:2")
+	if len(errs) != 1 {
+		t.Fatalf("Prewarm errors = %v, want exactly one", errs)
+	}
+	// "bogus" never canonicalizes, so only the two buildable specs
+	// create entries.
+	if _, misses := c.Stats(); misses != 2 {
+		t.Errorf("misses = %d, want 2", misses)
+	}
+}

@@ -1,0 +1,307 @@
+// Package engine is the concurrent mapping engine: a long-lived service
+// core that amortizes expensive state across requests and runs the
+// whole partition → initial mapping → TIMER pipeline behind one API.
+//
+// It owns three pieces:
+//
+//   - a TopologyCache sharing partial-cube labelings read-only across
+//     requests, keyed by canonical topology spec ("grid:16x16", ...);
+//   - a worker-pool job pipeline accepting mapping jobs (application
+//     graph + topology spec + case c1–c4 + TIMER options), executing
+//     them with bounded concurrency and per-stage timing;
+//   - a batch/scenario runner fanning one graph out over many
+//     topologies or many graphs over one topology (the paper's Section
+//     7 evaluation is one such batch).
+//
+// cmd/mapd serves the engine over HTTP; internal/experiments drives its
+// evaluation harness through it; the repro facade re-exports it for
+// library use.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/topology"
+)
+
+// ErrQueueFull is returned by Submit when the job queue is at capacity;
+// the condition is transient and the submission can be retried.
+var ErrQueueFull = errors.New("engine: queue full")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("engine: closed")
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the number of concurrent pipeline workers (default
+	// GOMAXPROCS).
+	Workers int
+	// QueueCap bounds the number of queued-but-not-running jobs
+	// (default 1024). Submit fails fast when the queue is full.
+	QueueCap int
+	// RetainJobs bounds the number of job records kept in memory
+	// (default 16384): when a new submission would exceed it, the
+	// oldest *finished* jobs are evicted (their IDs become unknown to
+	// Get/Wait). Queued and running jobs are never evicted, so the
+	// engine's memory stays bounded under sustained traffic without
+	// dropping live work.
+	RetainJobs int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 1024
+	}
+	if o.RetainJobs <= 0 {
+		o.RetainJobs = 16384
+	}
+	return o
+}
+
+// jobRecord is the engine's mutable record of one job. Snapshots are
+// handed out as Job values.
+type jobRecord struct {
+	mu   sync.Mutex
+	job  Job
+	done chan struct{} // closed when the job reaches done/failed
+}
+
+func (r *jobRecord) snapshot() Job {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j := r.job
+	j.Stages = append([]Stage(nil), r.job.Stages...)
+	return j
+}
+
+// Engine is a concurrent mapping engine. Create one with New, share it
+// freely (all methods are safe for concurrent use), and Close it when
+// done.
+type Engine struct {
+	opt   Options
+	cache *TopologyCache
+
+	mu      sync.Mutex
+	jobs    map[string]*jobRecord
+	order   []string // submission order, for listing
+	nextID  int64
+	closed  bool
+	pending chan *jobRecord
+	wg      sync.WaitGroup
+}
+
+// New creates an engine and starts its worker pool.
+func New(opt Options) *Engine {
+	opt = opt.withDefaults()
+	e := &Engine{
+		opt:     opt,
+		cache:   NewTopologyCache(),
+		jobs:    make(map[string]*jobRecord),
+		pending: make(chan *jobRecord, opt.QueueCap),
+	}
+	e.wg.Add(opt.Workers)
+	for i := 0; i < opt.Workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// Close stops accepting jobs, waits for in-flight jobs to finish, and
+// shuts the worker pool down. Queued jobs are still executed.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.wg.Wait()
+		return
+	}
+	e.closed = true
+	close(e.pending)
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// Workers returns the worker-pool size.
+func (e *Engine) Workers() int { return e.opt.Workers }
+
+// QueueDepth returns the number of jobs queued but not yet started.
+func (e *Engine) QueueDepth() int { return len(e.pending) }
+
+// Cache exposes the engine's topology cache (shared, read-mostly).
+func (e *Engine) Cache() *TopologyCache { return e.cache }
+
+// Topology resolves a spec through the cache, building it on first use.
+func (e *Engine) Topology(spec string) (*topology.Topology, error) {
+	return e.cache.Get(spec)
+}
+
+// Submit enqueues a job and returns its snapshot (status "queued"). It
+// fails if the engine is closed or the queue is full.
+func (e *Engine) Submit(spec JobSpec) (Job, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return Job{}, ErrClosed
+	}
+	e.nextID++
+	rec := &jobRecord{
+		job: Job{
+			ID:        fmt.Sprintf("job-%06d", e.nextID),
+			Spec:      spec,
+			Status:    StatusQueued,
+			Submitted: time.Now(),
+		},
+		done: make(chan struct{}),
+	}
+	select {
+	case e.pending <- rec:
+	default:
+		e.nextID--
+		e.mu.Unlock()
+		return Job{}, fmt.Errorf("%w (%d jobs pending)", ErrQueueFull, e.opt.QueueCap)
+	}
+	e.jobs[rec.job.ID] = rec
+	e.order = append(e.order, rec.job.ID)
+	e.evictLocked()
+	e.mu.Unlock()
+	return rec.snapshot(), nil
+}
+
+// evictLocked drops the oldest finished job records while more than
+// RetainJobs are held. Caller holds e.mu.
+func (e *Engine) evictLocked() {
+	for len(e.order) > e.opt.RetainJobs {
+		evicted := false
+		for i, id := range e.order {
+			rec := e.jobs[id]
+			select {
+			case <-rec.done:
+				delete(e.jobs, id)
+				e.order = append(e.order[:i], e.order[i+1:]...)
+				evicted = true
+			default:
+				continue
+			}
+			break
+		}
+		if !evicted {
+			return // everything retained is still queued or running
+		}
+	}
+}
+
+// Get returns a snapshot of the job with the given ID.
+func (e *Engine) Get(id string) (Job, bool) {
+	e.mu.Lock()
+	rec, ok := e.jobs[id]
+	e.mu.Unlock()
+	if !ok {
+		return Job{}, false
+	}
+	return rec.snapshot(), true
+}
+
+// Wait blocks until the job finishes (done or failed) and returns its
+// final snapshot.
+func (e *Engine) Wait(id string) (Job, error) {
+	e.mu.Lock()
+	rec, ok := e.jobs[id]
+	e.mu.Unlock()
+	if !ok {
+		return Job{}, fmt.Errorf("engine: unknown job %q", id)
+	}
+	<-rec.done
+	return rec.snapshot(), nil
+}
+
+// Jobs lists snapshots of all jobs in submission order.
+func (e *Engine) Jobs() []Job {
+	e.mu.Lock()
+	recs := make([]*jobRecord, 0, len(e.order))
+	for _, id := range e.order {
+		recs = append(recs, e.jobs[id])
+	}
+	e.mu.Unlock()
+	out := make([]Job, len(recs))
+	for i, r := range recs {
+		out[i] = r.snapshot()
+	}
+	return out
+}
+
+// Run executes a job synchronously on the calling goroutine, bypassing
+// the queue (library convenience; the topology still goes through the
+// cache). The job is not registered in the engine's job table.
+func (e *Engine) Run(spec JobSpec) (*JobResult, []Stage, error) {
+	var stages []Stage
+	res, err := runPipeline(spec, e.cache.Get, func(name string, seconds float64) {
+		if seconds >= 0 {
+			stages = append(stages, Stage{Name: name, Seconds: seconds})
+		}
+	})
+	return res, stages, err
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for rec := range e.pending {
+		e.execute(rec)
+	}
+}
+
+func (e *Engine) execute(rec *jobRecord) {
+	rec.mu.Lock()
+	rec.job.Status = StatusRunning
+	rec.job.Started = time.Now()
+	spec := rec.job.Spec
+	rec.mu.Unlock()
+
+	res, err := e.runGuarded(spec, rec)
+
+	rec.mu.Lock()
+	rec.job.Stage = ""
+	rec.job.Finished = time.Now()
+	if err != nil {
+		rec.job.Status = StatusFailed
+		rec.job.Error = err.Error()
+	} else {
+		rec.job.Status = StatusDone
+		rec.job.Result = res
+	}
+	// Drop the heavyweight inputs from the retained record: a finished
+	// job is kept for status reporting, and holding inline edge lists or
+	// pinned graphs/topologies for up to RetainJobs records would grow
+	// the server's heap without bound.
+	rec.job.Spec.Graph.Edges = nil
+	rec.job.Spec.Graph.G = nil
+	rec.job.Spec.Topo = nil
+	rec.mu.Unlock()
+	close(rec.done)
+}
+
+// runGuarded runs the pipeline and converts panics into job failures: a
+// malformed job must never take the worker (and with it the whole
+// service) down.
+func (e *Engine) runGuarded(spec JobSpec, rec *jobRecord) (res *JobResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("engine: job panicked: %v", r)
+		}
+	}()
+	return runPipeline(spec, e.cache.Get, func(name string, seconds float64) {
+		rec.mu.Lock()
+		if seconds < 0 {
+			rec.job.Stage = name
+		} else {
+			rec.job.Stages = append(rec.job.Stages, Stage{Name: name, Seconds: seconds})
+		}
+		rec.mu.Unlock()
+	})
+}

@@ -1,0 +1,418 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mapping"
+	"repro/internal/netgen"
+	"repro/internal/partition"
+	"repro/internal/topology"
+)
+
+// Case identifies the initial-mapping algorithm of a job — the paper's
+// experimental cases c1–c4 (Section 7.1, "Baselines").
+type Case int
+
+const (
+	// CaseUnspecified is the zero value, so a JSON job spec that omits
+	// "case" gets the same documented default as an empty string:
+	// IDENTITY. It is normalized away before any pipeline runs.
+	CaseUnspecified Case = iota
+	// C1SCOTCH: initial mapping from the DRB mapper (SCOTCH stand-in).
+	C1SCOTCH
+	// C2Identity: initial mapping = IDENTITY on a KaHIP-style partition.
+	C2Identity
+	// C3GreedyAllC: initial mapping from GREEDYALLC on the communication
+	// graph of a partition.
+	C3GreedyAllC
+	// C4GreedyMin: initial mapping from GREEDYMIN (the LibTopoMap-style
+	// construction).
+	C4GreedyMin
+)
+
+// orDefault resolves CaseUnspecified to the IDENTITY default.
+func (c Case) orDefault() Case {
+	if c == CaseUnspecified {
+		return C2Identity
+	}
+	return c
+}
+
+// String returns the paper's name of the case's baseline.
+func (c Case) String() string {
+	switch c.orDefault() {
+	case C1SCOTCH:
+		return "SCOTCH"
+	case C2Identity:
+		return "IDENTITY"
+	case C3GreedyAllC:
+		return "GREEDYALLC"
+	case C4GreedyMin:
+		return "GREEDYMIN"
+	default:
+		return fmt.Sprintf("Case(%d)", int(c))
+	}
+}
+
+// Cases lists c1..c4 in paper order.
+func Cases() []Case { return []Case{C1SCOTCH, C2Identity, C3GreedyAllC, C4GreedyMin} }
+
+// ParseCase accepts the paper's baseline names (case-insensitive) and
+// the short forms c1..c4. The empty string defaults to IDENTITY.
+func ParseCase(s string) (Case, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "c1", "scotch", "drb":
+		return C1SCOTCH, nil
+	case "", "c2", "identity":
+		return C2Identity, nil
+	case "c3", "greedyallc":
+		return C3GreedyAllC, nil
+	case "c4", "greedymin":
+		return C4GreedyMin, nil
+	default:
+		return 0, fmt.Errorf("engine: unknown case %q (want c1/scotch, c2/identity, c3/greedyallc or c4/greedymin)", s)
+	}
+}
+
+// MarshalJSON encodes the case as its baseline name.
+func (c Case) MarshalJSON() ([]byte, error) { return json.Marshal(c.String()) }
+
+// UnmarshalJSON accepts anything ParseCase does.
+func (c *Case) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	parsed, err := ParseCase(s)
+	if err != nil {
+		return err
+	}
+	*c = parsed
+	return nil
+}
+
+// GraphSpec names the application graph of a job. Exactly one source
+// must be set: a Table 1 network name (generated via netgen), an inline
+// edge list, or — for library callers — a pre-built graph.
+type GraphSpec struct {
+	// Network is a netgen catalog name ("p2p-Gnutella", ...).
+	Network string `json:"network,omitempty"`
+	// Scale shrinks the generated network (default 1.0 = paper size).
+	Scale float64 `json:"scale,omitempty"`
+	// Seed drives the generator (defaults to the job seed).
+	Seed int64 `json:"seed,omitempty"`
+
+	// N and Edges give an inline graph: Edges[i] = [u, v, w].
+	N     int        `json:"n,omitempty"`
+	Edges [][3]int64 `json:"edges,omitempty"`
+
+	// G is a pre-materialized graph (library use only; not serializable).
+	G *graph.Graph `json:"-"`
+}
+
+// materialize resolves the spec into a graph. jobSeed is the fallback
+// generator seed.
+func (gs GraphSpec) materialize(jobSeed int64) (*graph.Graph, error) {
+	// A pre-built G wins silently: it cannot arrive over the wire
+	// (json:"-"), and the engine itself pins it next to the original
+	// Network provenance when fanning batches out. The two serializable
+	// sources, however, are mutually exclusive — choosing one for a
+	// client that sent both would compute on a different graph than
+	// intended.
+	if gs.G == nil && gs.Network != "" && len(gs.Edges) > 0 {
+		return nil, fmt.Errorf("engine: graph spec sets both network and edges; want exactly one source")
+	}
+	switch {
+	case gs.G != nil:
+		return gs.G, nil
+	case gs.Network != "":
+		spec, err := netgen.ByName(gs.Network)
+		if err != nil {
+			return nil, err
+		}
+		seed := gs.Seed
+		if seed == 0 {
+			seed = jobSeed
+		}
+		// Generate clamps out-of-range scales to 1 itself.
+		return spec.Generate(gs.Scale, seed), nil
+	case len(gs.Edges) > 0:
+		// Validate before touching graph.Builder: its range checks panic,
+		// and a panic from a malformed request must not reach the worker.
+		// The vertex cap keeps a tiny request body from demanding a
+		// multi-GB CSR allocation (edge count is already bounded by the
+		// HTTP body limit).
+		const maxN = 1 << 22
+		n := gs.N
+		if n < 0 || n > maxN {
+			return nil, fmt.Errorf("engine: graph spec n = %d out of range [0, %d]", n, maxN)
+		}
+		for i, e := range gs.Edges {
+			if e[0] < 0 || e[1] < 0 || e[0] >= maxN || e[1] >= maxN {
+				return nil, fmt.Errorf("engine: edge %d = {%d,%d} out of range [0, %d)", i, e[0], e[1], maxN)
+			}
+			if int(e[0]) >= n {
+				n = int(e[0]) + 1
+			}
+			if int(e[1]) >= n {
+				n = int(e[1]) + 1
+			}
+		}
+		b := graph.NewBuilder(n)
+		for _, e := range gs.Edges {
+			w := e[2]
+			if w <= 0 {
+				w = 1
+			}
+			b.AddEdge(int(e[0]), int(e[1]), w)
+		}
+		return b.Build(), nil
+	default:
+		return nil, fmt.Errorf("engine: graph spec is empty (want network, edges or a pre-built graph)")
+	}
+}
+
+// JobSpec describes one mapping job: partition an application graph,
+// produce an initial mapping with the chosen baseline, enhance it with
+// TIMER.
+type JobSpec struct {
+	Graph GraphSpec `json:"graph"`
+	// Topology is a canonical topology spec ("grid:16x16", ...) resolved
+	// through the engine's cache.
+	Topology string `json:"topology"`
+	// Topo is a pre-built topology (library use only); it bypasses the
+	// cache.
+	Topo *topology.Topology `json:"-"`
+
+	Case Case `json:"case"`
+	// Epsilon is the partitioning imbalance (default 0.03).
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// Seed drives partitioning, mapping and TIMER (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// NumHierarchies is TIMER's NH (default 50).
+	NumHierarchies int `json:"num_hierarchies,omitempty"`
+	// TimerWorkers > 1 evaluates TIMER hierarchies in concurrent batches
+	// (still deterministic for a fixed seed).
+	TimerWorkers int `json:"timer_workers,omitempty"`
+	// SwapRounds repeats TIMER's sibling-swap pass per level (default 1).
+	SwapRounds int `json:"swap_rounds,omitempty"`
+	// IncludeAssignment returns the enhanced mapping itself in the
+	// result (can be large).
+	IncludeAssignment bool `json:"include_assignment,omitempty"`
+}
+
+func (s JobSpec) withDefaults() JobSpec {
+	s.Case = s.Case.orDefault()
+	if s.Epsilon <= 0 {
+		s.Epsilon = 0.03
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.NumHierarchies <= 0 {
+		s.NumHierarchies = 50
+	}
+	return s
+}
+
+// Stage is one timed step of the job pipeline.
+type Stage struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// JobResult is the outcome of a finished job.
+type JobResult struct {
+	Topology string `json:"topology"`
+	PEs      int    `json:"pes"`
+	GraphN   int    `json:"graph_n"`
+	GraphM   int    `json:"graph_m"`
+	Case     Case   `json:"case"`
+
+	CutBefore  int64 `json:"cut_before"`
+	CutAfter   int64 `json:"cut_after"`
+	CocoBefore int64 `json:"coco_before"`
+	CocoAfter  int64 `json:"coco_after"`
+	// CocoQuotient is CocoAfter/CocoBefore (< 1 means TIMER improved the
+	// mapping).
+	CocoQuotient float64 `json:"coco_quotient"`
+
+	HierarchiesKept int `json:"hierarchies_kept"`
+	SwapsApplied    int `json:"swaps_applied"`
+
+	// BaseSeconds is the initial-mapping time: partitioning (c2-c4) or
+	// DRB mapping (c1). TimerSeconds is the enhancement time. These are
+	// the numerator/denominator of the paper's Table 2 quotients.
+	BaseSeconds  float64 `json:"base_seconds"`
+	TimerSeconds float64 `json:"timer_seconds"`
+
+	Assignment []int32 `json:"assignment,omitempty"`
+}
+
+// JobStatus is the lifecycle state of a job.
+type JobStatus string
+
+const (
+	StatusQueued  JobStatus = "queued"
+	StatusRunning JobStatus = "running"
+	StatusDone    JobStatus = "done"
+	StatusFailed  JobStatus = "failed"
+)
+
+// Job is a snapshot of one submitted job. All fields are copies; the
+// engine's internal record keeps mutating after the snapshot is taken.
+type Job struct {
+	ID     string    `json:"id"`
+	Spec   JobSpec   `json:"spec"`
+	Status JobStatus `json:"status"`
+	// Stage is the pipeline step currently executing (running jobs only).
+	Stage  string     `json:"stage,omitempty"`
+	Stages []Stage    `json:"stages,omitempty"`
+	Result *JobResult `json:"result,omitempty"`
+	Error  string     `json:"error,omitempty"`
+
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started,omitzero"`
+	Finished  time.Time `json:"finished,omitzero"`
+}
+
+// runPipeline executes the partition → initial mapping → TIMER pipeline
+// of one job. resolve supplies the topology (cache-backed for engine
+// jobs); stage is called before each step begins and receives the
+// step's duration after it ends, so callers can stream progress.
+func runPipeline(spec JobSpec, resolve func(string) (*topology.Topology, error),
+	stage func(name string, seconds float64)) (*JobResult, error) {
+	spec = spec.withDefaults()
+	if stage == nil {
+		stage = func(string, float64) {}
+	}
+	timed := func(name string, f func() error) error {
+		stage(name, -1) // entering
+		t0 := time.Now()
+		err := f()
+		stage(name, time.Since(t0).Seconds())
+		return err
+	}
+
+	var topo *topology.Topology
+	if err := timed("topology", func() error {
+		if spec.Topo != nil {
+			topo = spec.Topo
+			return nil
+		}
+		var err error
+		topo, err = resolve(spec.Topology)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	var ga *graph.Graph
+	if err := timed("graph", func() error {
+		var err error
+		ga, err = spec.Graph.materialize(spec.Seed)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if ga.N() <= topo.P() {
+		return nil, fmt.Errorf("engine: graph has %d vertices for %d PEs; need more tasks than PEs", ga.N(), topo.P())
+	}
+
+	res := &JobResult{
+		Topology: topo.Name,
+		PEs:      topo.P(),
+		GraphN:   ga.N(),
+		GraphM:   ga.M(),
+		Case:     spec.Case,
+	}
+
+	var assign []int32
+	switch spec.Case {
+	case C1SCOTCH:
+		if err := timed("drb", func() error {
+			t0 := time.Now()
+			a, err := mapping.DRB(ga, topo, mapping.DRBConfig{Epsilon: spec.Epsilon, Seed: spec.Seed, Fast: true})
+			if err != nil {
+				return err
+			}
+			res.BaseSeconds = time.Since(t0).Seconds()
+			assign = a
+			return nil
+		}); err != nil {
+			return nil, fmt.Errorf("engine: DRB: %w", err)
+		}
+	default:
+		var part *partition.Result
+		if err := timed("partition", func() error {
+			t0 := time.Now()
+			var err error
+			part, err = partition.Partition(ga, partition.Config{K: topo.P(), Epsilon: spec.Epsilon, Seed: spec.Seed})
+			res.BaseSeconds = time.Since(t0).Seconds()
+			return err
+		}); err != nil {
+			return nil, fmt.Errorf("engine: partition: %w", err)
+		}
+		if err := timed("map", func() error {
+			switch spec.Case {
+			case C2Identity:
+				assign = mapping.FromPartition(part.Part)
+				return nil
+			case C3GreedyAllC, C4GreedyMin:
+				gc := mapping.CommGraph(ga, part.Part, topo.P())
+				var nu []int32
+				var err error
+				if spec.Case == C3GreedyAllC {
+					nu, err = mapping.GreedyAllC(gc, topo)
+				} else {
+					nu, err = mapping.GreedyMin(gc, topo)
+				}
+				if err != nil {
+					return err
+				}
+				assign = mapping.Compose(part.Part, nu)
+				return nil
+			default:
+				return fmt.Errorf("engine: unknown case %d", int(spec.Case))
+			}
+		}); err != nil {
+			return nil, fmt.Errorf("engine: initial mapping: %w", err)
+		}
+	}
+
+	res.CutBefore = mapping.Cut(ga, assign)
+	res.CocoBefore = mapping.Coco(ga, assign, topo)
+
+	if err := timed("enhance", func() error {
+		t0 := time.Now()
+		tr, err := core.Enhance(ga, topo, assign, core.Options{
+			NumHierarchies: spec.NumHierarchies,
+			Seed:           spec.Seed,
+			Workers:        spec.TimerWorkers,
+			SwapRounds:     spec.SwapRounds,
+		})
+		if err != nil {
+			return err
+		}
+		res.TimerSeconds = time.Since(t0).Seconds()
+		res.CutAfter = mapping.Cut(ga, tr.Assign)
+		res.CocoAfter = mapping.Coco(ga, tr.Assign, topo)
+		res.HierarchiesKept = tr.HierarchiesKept
+		res.SwapsApplied = tr.SwapsApplied
+		if spec.IncludeAssignment {
+			res.Assignment = tr.Assign
+		}
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("engine: TIMER: %w", err)
+	}
+	if res.CocoBefore > 0 {
+		res.CocoQuotient = float64(res.CocoAfter) / float64(res.CocoBefore)
+	}
+	return res, nil
+}

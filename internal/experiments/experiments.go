@@ -3,15 +3,24 @@
 // Table 1 network suite, and the aggregation pipeline producing Table 2
 // (running-time quotients), Table 3 (partition times) and Figures 5a–5d
 // (quality quotients).
+//
+// Execution is delegated to the concurrent mapping engine
+// (internal/engine): every repetition is an engine job and the
+// repetitions of an instance run concurrently on the engine's worker
+// pool. Topologies are built once per suite with the paper's names and
+// handed to jobs pre-built (bypassing the engine's spec cache, which
+// would rename them to canonical specs). Results are byte-identical to
+// sequential execution because every job derives its own seed.
 package experiments
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/graph"
-	"repro/internal/mapping"
 	"repro/internal/metrics"
 	"repro/internal/netgen"
 	"repro/internal/partition"
@@ -19,42 +28,26 @@ import (
 )
 
 // Case identifies the initial-mapping algorithm of an experimental case
-// (paper Section 7.1, "Baselines").
-type Case int
+// (paper Section 7.1, "Baselines"). It is the engine's job case.
+type Case = engine.Case
 
 const (
 	// C1SCOTCH: initial mapping from the DRB mapper (SCOTCH stand-in);
 	// time quotients are relative to the DRB mapping time.
-	C1SCOTCH Case = iota
+	C1SCOTCH = engine.C1SCOTCH
 	// C2Identity: initial mapping = IDENTITY on a KaHIP-style partition;
 	// time quotients are relative to the partitioning time.
-	C2Identity
+	C2Identity = engine.C2Identity
 	// C3GreedyAllC: initial mapping from GREEDYALLC on the communication
 	// graph of a partition.
-	C3GreedyAllC
+	C3GreedyAllC = engine.C3GreedyAllC
 	// C4GreedyMin: initial mapping from GREEDYMIN (the LibTopoMap-style
 	// construction).
-	C4GreedyMin
+	C4GreedyMin = engine.C4GreedyMin
 )
 
-// String returns the paper's name of the case's baseline.
-func (c Case) String() string {
-	switch c {
-	case C1SCOTCH:
-		return "SCOTCH"
-	case C2Identity:
-		return "IDENTITY"
-	case C3GreedyAllC:
-		return "GREEDYALLC"
-	case C4GreedyMin:
-		return "GREEDYMIN"
-	default:
-		return fmt.Sprintf("Case(%d)", int(c))
-	}
-}
-
 // Cases lists c1..c4 in paper order.
-func Cases() []Case { return []Case{C1SCOTCH, C2Identity, C3GreedyAllC, C4GreedyMin} }
+func Cases() []Case { return engine.Cases() }
 
 // Config controls a run of the harness.
 type Config struct {
@@ -82,6 +75,35 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// jobFor translates one repetition into an engine job spec.
+func jobFor(ga *graph.Graph, topo *topology.Topology, c Case, cfg Config, seed int64) engine.JobSpec {
+	return engine.JobSpec{
+		Graph:          engine.GraphSpec{G: ga},
+		Topo:           topo,
+		Case:           c,
+		Epsilon:        cfg.Epsilon,
+		Seed:           seed,
+		NumHierarchies: cfg.NH,
+	}
+}
+
+// sharedEngine backs the package-level RunRep/RunInstance entry points;
+// suites own their engine instead. The pool is created once per process
+// and deliberately never closed: RunInstance needs it for concurrent
+// reps, and the idle workers RunRep leaves parked cost only their
+// stacks.
+var (
+	sharedOnce sync.Once
+	shared     *engine.Engine
+)
+
+func sharedEngine() *engine.Engine {
+	sharedOnce.Do(func() {
+		shared = engine.New(engine.Options{Workers: runtime.GOMAXPROCS(0)})
+	})
+	return shared
+}
+
 // RepMeasurement holds one repetition's raw observations.
 type RepMeasurement struct {
 	BaseSeconds  float64 // partition time (c2-c4) or DRB mapping time (c1)
@@ -90,6 +112,17 @@ type RepMeasurement struct {
 	CutAfter     int64
 	CocoBefore   int64
 	CocoAfter    int64
+}
+
+func repFromResult(r *engine.JobResult) RepMeasurement {
+	return RepMeasurement{
+		BaseSeconds:  r.BaseSeconds,
+		TimerSeconds: r.TimerSeconds,
+		CutBefore:    r.CutBefore,
+		CutAfter:     r.CutAfter,
+		CocoBefore:   r.CocoBefore,
+		CocoAfter:    r.CocoAfter,
+	}
 }
 
 // InstanceResult aggregates the repetitions of one (network, topology,
@@ -113,74 +146,59 @@ type InstanceResult struct {
 	Reps []RepMeasurement
 }
 
-// RunRep executes one repetition of one case on one instance.
+// RunRep executes one repetition of one case on one instance through
+// the shared engine (synchronously, on the calling goroutine).
 func RunRep(ga *graph.Graph, topo *topology.Topology, c Case, cfg Config, seed int64) (RepMeasurement, error) {
-	var m RepMeasurement
-	var assign []int32
-
-	switch c {
-	case C1SCOTCH:
-		t0 := time.Now()
-		a, err := mapping.DRB(ga, topo, mapping.DRBConfig{Epsilon: cfg.Epsilon, Seed: seed, Fast: true})
-		if err != nil {
-			return m, fmt.Errorf("experiments: DRB: %w", err)
-		}
-		m.BaseSeconds = time.Since(t0).Seconds()
-		assign = a
-	default:
-		t0 := time.Now()
-		res, err := partition.Partition(ga, partition.Config{K: topo.P(), Epsilon: cfg.Epsilon, Seed: seed})
-		if err != nil {
-			return m, fmt.Errorf("experiments: partition: %w", err)
-		}
-		m.BaseSeconds = time.Since(t0).Seconds()
-		switch c {
-		case C2Identity:
-			assign = mapping.FromPartition(res.Part)
-		case C3GreedyAllC, C4GreedyMin:
-			gc := mapping.CommGraph(ga, res.Part, topo.P())
-			var nu []int32
-			var err error
-			if c == C3GreedyAllC {
-				nu, err = mapping.GreedyAllC(gc, topo)
-			} else {
-				nu, err = mapping.GreedyMin(gc, topo)
-			}
-			if err != nil {
-				return m, fmt.Errorf("experiments: greedy: %w", err)
-			}
-			assign = mapping.Compose(res.Part, nu)
-		}
-	}
-
-	m.CutBefore = mapping.Cut(ga, assign)
-	m.CocoBefore = mapping.Coco(ga, assign, topo)
-
-	t1 := time.Now()
-	res, err := core.Enhance(ga, topo, assign, core.Options{NumHierarchies: cfg.NH, Seed: seed})
+	cfg = cfg.withDefaults()
+	res, _, err := sharedEngine().Run(jobFor(ga, topo, c, cfg, seed))
 	if err != nil {
-		return m, fmt.Errorf("experiments: TIMER: %w", err)
+		return RepMeasurement{}, fmt.Errorf("experiments: %w", err)
 	}
-	m.TimerSeconds = time.Since(t1).Seconds()
-	m.CutAfter = mapping.Cut(ga, res.Assign)
-	m.CocoAfter = mapping.Coco(ga, res.Assign, topo)
-	return m, nil
+	return repFromResult(res), nil
 }
 
 // RunInstance executes all repetitions of one (network, topology, case)
 // combination and aggregates the quotients exactly as Section 7.1
 // describes: min/mean/max over repetitions, then after/before division.
+// The repetitions run concurrently on the shared engine's worker pool.
 func RunInstance(name string, ga *graph.Graph, topo *topology.Topology, c Case, cfg Config) (*InstanceResult, error) {
+	return runInstanceOn(sharedEngine(), name, ga, topo, c, cfg)
+}
+
+func runInstanceOn(eng *engine.Engine, name string, ga *graph.Graph, topo *topology.Topology, c Case, cfg Config) (*InstanceResult, error) {
 	cfg = cfg.withDefaults()
 	r := &InstanceResult{Network: name, Topo: topo.Name, Case: c}
+
+	ids := make([]string, 0, cfg.Reps)
+	var submitErr error
+	for rep := 0; rep < cfg.Reps; rep++ {
+		job, err := eng.Submit(jobFor(ga, topo, c, cfg, engine.BatchSeed(cfg.Seed, rep, c)))
+		if err != nil {
+			submitErr = fmt.Errorf("experiments: submit rep %d: %w", rep, err)
+			break
+		}
+		ids = append(ids, job.ID)
+	}
+	if submitErr != nil {
+		// Drain what was enqueued before reporting failure: those jobs
+		// run regardless and must not be silently abandoned.
+		for _, id := range ids {
+			eng.Wait(id)
+		}
+		return nil, submitErr
+	}
+
 	var baseT, timerT []float64
 	var cutB, cutA, cocoB, cocoA []int64
-	for rep := 0; rep < cfg.Reps; rep++ {
-		seed := cfg.Seed + int64(rep)*7919 + int64(c)*104729
-		m, err := RunRep(ga, topo, c, cfg, seed)
+	for rep, id := range ids {
+		job, err := eng.Wait(id)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("experiments: rep %d: %w", rep, err)
 		}
+		if job.Status != engine.StatusDone {
+			return nil, fmt.Errorf("experiments: rep %d failed: %s", rep, job.Error)
+		}
+		m := repFromResult(job.Result)
 		r.Reps = append(r.Reps, m)
 		baseT = append(baseT, m.BaseSeconds)
 		timerT = append(timerT, m.TimerSeconds)
@@ -227,35 +245,57 @@ func Aggregate(topoName string, c Case, instances []*InstanceResult) *SuiteResul
 	}
 }
 
-// Suite bundles the generated networks with the harness configuration.
+// Suite bundles the generated networks with the harness configuration
+// and the engine executing it.
 type Suite struct {
 	Networks []netgen.Instance
 	Topos    []*topology.Topology
 	Cfg      Config
+	// Eng executes the suite's jobs on its worker pool.
+	Eng *engine.Engine
 }
 
 // NewSuite prepares the evaluation suite. scale shrinks the Table 1
 // networks (1.0 = paper size); maxV and maxE skip networks whose scaled
-// vertex/edge counts exceed the bounds (0 = no bound).
+// vertex/edge counts exceed the bounds (0 = no bound). The suite owns a
+// fresh engine; Close releases its worker pool.
 func NewSuite(scale float64, maxV, maxE int, cfg Config) (*Suite, error) {
 	cfg = cfg.withDefaults()
 	nets := netgen.GenerateSuite(netgen.SuiteOption{Scale: scale, MaxVertices: maxV, MaxEdges: maxE, Seed: cfg.Seed})
 	if len(nets) == 0 {
 		return nil, fmt.Errorf("experiments: no networks at scale %g with maxV %d maxE %d", scale, maxV, maxE)
 	}
+	eng := engine.New(engine.Options{Workers: runtime.GOMAXPROCS(0)})
 	var topos []*topology.Topology
 	for _, pt := range topology.PaperTopologies() {
+		// Built directly (not through the engine cache) so the tables
+		// and figures keep the paper's names ("grid16x16", "8-dimHQ");
+		// the cache would rename them to canonical specs. Jobs hand the
+		// topology to the engine pre-built, so nothing is built twice.
 		t, err := pt.Build()
 		if err != nil {
+			eng.Close()
 			return nil, err
 		}
 		topos = append(topos, t)
 	}
-	return &Suite{Networks: nets, Topos: topos, Cfg: cfg}, nil
+	return &Suite{Networks: nets, Topos: topos, Cfg: cfg, Eng: eng}, nil
 }
 
-// RunCase evaluates one case over the full suite on every topology.
+// Close shuts the suite's engine down.
+func (s *Suite) Close() {
+	if s.Eng != nil {
+		s.Eng.Close()
+	}
+}
+
+// RunCase evaluates one case over the full suite on every topology —
+// one engine batch per topology, fanned across the worker pool.
 func (s *Suite) RunCase(c Case, progress func(string)) ([]*SuiteResult, error) {
+	eng := s.Eng
+	if eng == nil {
+		eng = sharedEngine()
+	}
 	var out []*SuiteResult
 	for _, topo := range s.Topos {
 		var inst []*InstanceResult
@@ -266,7 +306,7 @@ func (s *Suite) RunCase(c Case, progress func(string)) ([]*SuiteResult, error) {
 			if progress != nil {
 				progress(fmt.Sprintf("%s / %s / %s", c, topo.Name, net.Spec.Name))
 			}
-			r, err := RunInstance(net.Spec.Name, net.G, topo, c, s.Cfg)
+			r, err := runInstanceOn(eng, net.Spec.Name, net.G, topo, c, s.Cfg)
 			if err != nil {
 				return nil, fmt.Errorf("%s on %s/%s: %w", c, topo.Name, net.Spec.Name, err)
 			}

@@ -55,7 +55,7 @@ func WriteTable2(w io.Writer, results map[Case][]*SuiteResult) error {
 // quotients (min/mean/max), with geometric standard deviations.
 func WriteFigure5(w io.Writer, c Case, results []*SuiteResult) error {
 	fmt.Fprintf(w, "Figure 5%c: quality quotients after TIMER on %s initial mappings.\n",
-		'a'+rune(int(c)), c)
+		'a'+rune(int(c-C1SCOTCH)), c)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "topology\tminCut\tCut\tmaxCut\tminCo\tCo\tmaxCo\tgsd(Co)")
 	for _, sr := range results {

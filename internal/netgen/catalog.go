@@ -56,7 +56,7 @@ func ByName(name string) (NetworkSpec, error) {
 // vertex and edge targets are FullV·scale and FullE·scale. Scale 1
 // reproduces Table 1's sizes; the experiment harness defaults to a
 // smaller scale so the whole suite runs in CI time (the quotients the
-// paper reports are size-relative, see EXPERIMENTS.md).
+// paper reports are size-relative, see DESIGN.md).
 func (s NetworkSpec) Generate(scale float64, seed int64) *graph.Graph {
 	if scale <= 0 || scale > 1 {
 		scale = 1

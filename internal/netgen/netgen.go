@@ -136,19 +136,24 @@ func ba(n, m int, rng *rand.Rand) *graph.Graph {
 		if k > v {
 			k = v
 		}
+		// Track picks in selection order: ranging over the set would wire
+		// edges (and grow endpoints) in map order, making the generated
+		// graph nondeterministic despite the fixed seed.
 		chosen := make(map[int32]bool, k)
-		for len(chosen) < k {
+		picks := make([]int32, 0, k)
+		for len(picks) < k {
 			var u int32
 			if rng.Float64() < 0.1 { // uniform escape keeps the tail honest
 				u = int32(rng.Intn(v))
 			} else {
 				u = endpoints[rng.Intn(len(endpoints))]
 			}
-			if int(u) != v {
+			if int(u) != v && !chosen[u] {
 				chosen[u] = true
+				picks = append(picks, u)
 			}
 		}
-		for u := range chosen {
+		for _, u := range picks {
 			b.AddEdge(v, int(u), 1)
 			endpoints = append(endpoints, int32(v), u)
 		}

@@ -121,19 +121,26 @@ func enforceBalance(g *graph.Graph, part []int32, cfg Config, rng *rand.Rand) {
 			wv := g.VertexWeight(v)
 			nbr, ew := g.Neighbors(v)
 			var internal int64
+			// Accumulate per-target external weights in first-seen order:
+			// map iteration order would make tie-breaks (and thus the
+			// whole partition) nondeterministic across runs.
 			targets := map[int32]int64{}
+			var targetOrder []int32
 			for i, u := range nbr {
 				if part[u] == over {
 					internal += ew[i]
 				} else {
+					if _, seen := targets[part[u]]; !seen {
+						targetOrder = append(targetOrder, part[u])
+					}
 					targets[part[u]] += ew[i]
 				}
 			}
-			for b, ext := range targets {
+			for _, b := range targetOrder {
 				if weights[b]+wv > limit {
 					continue
 				}
-				if score := ext - internal; score > bestScore {
+				if score := targets[b] - internal; score > bestScore {
 					bestScore, bestV, bestB = score, v, b
 				}
 			}

@@ -10,6 +10,7 @@ package topology
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/bitvec"
 	"repro/internal/graph"
@@ -27,7 +28,11 @@ type Topology struct {
 	// Hamming distance between labels.
 	Labels []bitvec.Label
 
-	byLabel map[bitvec.Label]int32
+	// byLabel is built lazily under indexOnce: topologies are shared
+	// read-only between concurrent engine jobs, so the first PEOf must
+	// not race with others.
+	indexOnce sync.Once
+	byLabel   map[bitvec.Label]int32
 }
 
 // P returns the number of processing elements.
@@ -35,9 +40,7 @@ func (t *Topology) P() int { return t.G.N() }
 
 // PEOf returns the PE whose label is l, or -1 if no PE has that label.
 func (t *Topology) PEOf(l bitvec.Label) int {
-	if t.byLabel == nil {
-		t.buildIndex()
-	}
+	t.indexOnce.Do(t.buildIndex)
 	if pe, ok := t.byLabel[l]; ok {
 		return int(pe)
 	}

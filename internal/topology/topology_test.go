@@ -174,7 +174,7 @@ func TestPaperCatalog(t *testing.T) {
 	wantDim := map[PaperTopology]int{
 		Grid2D16x16:  30, // paper Section 7.2: 30 convex cuts
 		Grid3D8x8x8:  21, // 21 convex cuts
-		Torus2D16x16: 16, // minimal isometric dimension (see EXPERIMENTS.md)
+		Torus2D16x16: 16, // minimal isometric dimension (see DESIGN.md)
 		Torus3D8x8x8: 12,
 		HQ8:          8,
 	}

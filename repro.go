@@ -18,14 +18,30 @@
 //	res, _ := repro.Enhance(ga, topo, assign, repro.TimerOptions{NumHierarchies: 50, Seed: 42})
 //	fmt.Println(res.CocoBefore, "->", res.CocoAfter)
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// reproduction of every table and figure of the paper.
+// For long-lived, concurrent use, NewEngine wraps the same pipeline in
+// the mapping engine: a shared topology cache, a worker-pool job queue
+// and a batch runner (served over HTTP by cmd/mapd):
+//
+//	eng := repro.NewEngine(repro.EngineOptions{})
+//	defer eng.Close()
+//	job, _ := eng.Submit(repro.JobSpec{
+//		Graph:    repro.GraphSpec{Network: "p2p-Gnutella", Scale: 0.25},
+//		Topology: "grid:16x16",
+//		Seed:     42,
+//	})
+//	done, _ := eng.Wait(job.ID)
+//	fmt.Println(done.Result.CocoBefore, "->", done.Result.CocoAfter)
+//
+// See DESIGN.md for the system inventory and README.md for quickstarts
+// covering the library, cmd/experiments (every table and figure of the
+// paper) and the mapd service.
 package repro
 
 import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/mapping"
 	"repro/internal/netgen"
@@ -51,10 +67,61 @@ type (
 	// DRBConfig configures the SCOTCH-style dual-recursive-bisection
 	// mapper.
 	DRBConfig = mapping.DRBConfig
+
+	// Engine is the concurrent mapping engine: topology cache + job
+	// pipeline + batch runner.
+	Engine = engine.Engine
+	// EngineOptions sizes the engine's worker pool and job queue.
+	EngineOptions = engine.Options
+	// JobSpec describes one mapping job (graph + topology spec + case +
+	// TIMER options).
+	JobSpec = engine.JobSpec
+	// GraphSpec names a job's application graph (netgen name, inline
+	// edges, or a pre-built Graph).
+	GraphSpec = engine.GraphSpec
+	// Job is a snapshot of a submitted job (status, stage timings,
+	// result).
+	Job = engine.Job
+	// JobResult is a finished job's outcome (Coco/cut before and after,
+	// stage times).
+	JobResult = engine.JobResult
+	// BatchSpec fans graphs out over topologies through the engine.
+	BatchSpec = engine.BatchSpec
+	// Case selects the initial-mapping baseline c1–c4.
+	Case = engine.Case
 )
+
+// The four initial-mapping baselines of the paper's evaluation
+// (Section 7.1), selectable in a JobSpec. The zero value defaults to
+// CaseIdentity.
+const (
+	// CaseSCOTCH (c1): dual-recursive-bisection mapping (SCOTCH stand-in).
+	CaseSCOTCH = engine.C1SCOTCH
+	// CaseIdentity (c2): IDENTITY on a multilevel partition.
+	CaseIdentity = engine.C2Identity
+	// CaseGreedyAllC (c3): GREEDYALLC on the communication graph.
+	CaseGreedyAllC = engine.C3GreedyAllC
+	// CaseGreedyMin (c4): GREEDYMIN (LibTopoMap-style construction).
+	CaseGreedyMin = engine.C4GreedyMin
+)
+
+// ParseCase accepts the paper's baseline names (case-insensitive) and
+// the short forms c1..c4; the empty string is CaseIdentity.
+func ParseCase(s string) (Case, error) { return engine.ParseCase(s) }
 
 // NewBuilder creates a graph builder for n vertices.
 func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// NewEngine creates a concurrent mapping engine and starts its worker
+// pool. Close it when done. Submit/Wait/RunBatch run whole
+// partition→map→enhance pipelines; the engine's topology cache builds
+// each partial-cube labeling once and shares it across jobs.
+func NewEngine(opt EngineOptions) *Engine { return engine.New(opt) }
+
+// ParseTopologySpec validates a canonical topology spec string
+// ("grid:16x16", "torus:8x8x8", "hypercube:8" or a paper name) and
+// returns its canonical form — the engine's cache key.
+func ParseTopologySpec(spec string) (string, error) { return topology.Canonicalize(spec) }
 
 // ReadGraph loads a METIS/Chaco format graph file.
 func ReadGraph(path string) (*Graph, error) { return graph.ReadMETISFile(path) }
