@@ -173,7 +173,7 @@ func BenchmarkEngineTopologyCache(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			eng := engine.New(engine.Options{Workers: 1})
-			if _, _, err := eng.Run(spec); err != nil {
+			if _, err := eng.Run(spec); err != nil {
 				b.Fatal(err)
 			}
 			eng.Close()
@@ -188,7 +188,7 @@ func BenchmarkEngineTopologyCache(b *testing.B) {
 		b.ResetTimer()
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, _, err := eng.Run(spec); err != nil {
+			if _, err := eng.Run(spec); err != nil {
 				b.Fatal(err)
 			}
 		}

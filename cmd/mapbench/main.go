@@ -1,0 +1,150 @@
+// Command mapbench runs the scenario-matrix benchmark harness and
+// gates quality regressions against a baseline results file.
+//
+// Run a matrix and record results:
+//
+//	mapbench -smoke -out BENCH_results.json       # CI-sized, < 60s
+//	mapbench -full -reps 5 -out BENCH_full.json   # paper-style tables
+//	mapbench -matrix my-matrix.json -seed 3       # custom matrix file
+//
+// Gate against a baseline (nonzero exit on regression):
+//
+//	mapbench -smoke -out BENCH_results.json -baseline BENCH_baseline.json
+//	mapbench -baseline BENCH_baseline.json -diff BENCH_results.json
+//
+// The -diff form compares two existing result files without running
+// anything. Quality metrics are deterministic for a fixed matrix and
+// seed; performance fields are reported but never gated.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		matrixFile = flag.String("matrix", "", "benchmark matrix spec file (JSON); overrides -smoke/-full")
+		smoke      = flag.Bool("smoke", false, "run the canonical CI smoke matrix")
+		full       = flag.Bool("full", false, "run the full paper-style matrix (hours)")
+		reps       = flag.Int("reps", 0, "override the matrix repetition count")
+		seed       = flag.Int64("seed", 0, "override the matrix seed")
+		workers    = flag.Int("workers", 0, "engine worker-pool size (default GOMAXPROCS)")
+		out        = flag.String("out", "", "write results to this JSON file")
+		baseline   = flag.String("baseline", "", "gate quality metrics against this results file; exit 1 on regression")
+		diffFile   = flag.String("diff", "", "compare this results file against -baseline instead of running")
+		tol        = flag.Float64("tol", 0.05, "relative tolerance of the baseline gate")
+		quiet      = flag.Bool("q", false, "suppress per-scenario progress")
+	)
+	flag.Parse()
+
+	results, err := obtainResults(*matrixFile, *smoke, *full, *diffFile, bench.RunOptions{
+		Workers:  *workers,
+		Reps:     *reps,
+		Seed:     *seed,
+		Progress: progress(*quiet),
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *out != "" {
+		if err := results.WriteFile(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+	printSummary(results)
+
+	if results.Summary.Failed > 0 {
+		fatal(fmt.Errorf("%d scenarios failed", results.Summary.Failed))
+	}
+	if *baseline != "" {
+		base, err := bench.ReadFile(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		diff := bench.Compare(base, results, *tol)
+		printDiff(diff, *baseline, *tol)
+		if !diff.OK() {
+			os.Exit(1)
+		}
+	}
+}
+
+// obtainResults either loads an existing results file (-diff) or runs
+// the selected matrix.
+func obtainResults(matrixFile string, smoke, full bool, diffFile string, opt bench.RunOptions) (*bench.Results, error) {
+	if diffFile != "" {
+		return bench.ReadFile(diffFile)
+	}
+	spec, err := selectMatrix(matrixFile, smoke, full)
+	if err != nil {
+		return nil, err
+	}
+	return bench.Run(spec, opt)
+}
+
+func selectMatrix(matrixFile string, smoke, full bool) (bench.Spec, error) {
+	switch {
+	case matrixFile != "":
+		return bench.LoadSpec(matrixFile)
+	case smoke && full:
+		return bench.Spec{}, fmt.Errorf("-smoke and -full are mutually exclusive")
+	case smoke:
+		return bench.Smoke(), nil
+	case full:
+		return bench.Paper(), nil
+	default:
+		return bench.Spec{}, fmt.Errorf("pick a matrix: -smoke, -full or -matrix FILE")
+	}
+}
+
+func progress(quiet bool) func(string) {
+	if quiet {
+		return nil
+	}
+	return func(line string) { fmt.Fprintln(os.Stderr, line) }
+}
+
+func printSummary(r *bench.Results) {
+	s := r.Summary
+	fmt.Printf("matrix %s: %d scenarios (%d skipped, %d failed), %d jobs\n",
+		r.Matrix, s.Scenarios, s.Skipped, s.Failed, s.Jobs)
+	fmt.Printf("  qCoco^gm %.4f   qCut^gm %.4f\n", s.GeoCocoQuotient, s.GeoCutQuotient)
+	cases := make([]string, 0, len(s.CaseGeoCocoQuotient))
+	for c := range s.CaseGeoCocoQuotient {
+		cases = append(cases, c)
+	}
+	sort.Strings(cases)
+	for _, c := range cases {
+		fmt.Printf("  %-12s qCoco^gm %.4f\n", c, s.CaseGeoCocoQuotient[c])
+	}
+	if r.Perf != nil {
+		fmt.Printf("  %.1fs wall, %.2f jobs/sec on %d workers\n",
+			r.Perf.WallSeconds, r.Perf.JobsPerSec, r.Perf.Workers)
+	}
+}
+
+func printDiff(d *bench.Diff, baseline string, tol float64) {
+	fmt.Printf("baseline %s (tolerance %.0f%%): %d metrics compared, %d improved\n",
+		baseline, tol*100, d.Compared, d.Improved)
+	for _, m := range d.Missing {
+		fmt.Printf("  MISSING %s\n", m)
+	}
+	for _, reg := range d.Regressions {
+		fmt.Printf("  REGRESSION %s\n", reg)
+	}
+	if d.OK() {
+		fmt.Println("  no regressions")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mapbench:", err)
+	os.Exit(1)
+}

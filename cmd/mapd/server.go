@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"repro/internal/bench"
 	"repro/internal/engine"
 )
 
@@ -16,6 +17,7 @@ import (
 //	GET  /v1/jobs          list all jobs
 //	GET  /v1/jobs/{id}     one job: status, stage timings, result
 //	GET  /v1/topologies    topology cache contents + hit/miss stats
+//	GET  /v1/bench/matrices  canonical benchmark matrices (smoke, paper)
 //	GET  /healthz          liveness + pool stats
 type server struct {
 	eng *engine.Engine
@@ -30,6 +32,7 @@ func newServer(eng *engine.Engine) http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.listJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
 	mux.HandleFunc("GET /v1/topologies", s.topologies)
+	mux.HandleFunc("GET /v1/bench/matrices", s.benchMatrices)
 	mux.HandleFunc("GET /healthz", s.healthz)
 	return mux
 }
@@ -126,6 +129,14 @@ func (s *server) topologies(w http.ResponseWriter, r *http.Request) {
 		"hits":       hits,
 		"misses":     misses,
 	})
+}
+
+// benchMatrices serves the canonical benchmark matrices, so clients
+// drive the same scenario grid that cmd/mapbench and CI run: each
+// matrix names networks, topologies and cases that expand into engine
+// batches.
+func (s *server) benchMatrices(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"matrices": bench.Matrices()})
 }
 
 func (s *server) healthz(w http.ResponseWriter, r *http.Request) {

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/bench"
 	"repro/internal/engine"
 )
 
@@ -194,5 +195,30 @@ func TestMapdBatch(t *testing.T) {
 		if done := waitDone(t, srv, id); done.Status != engine.StatusDone {
 			t.Fatalf("batch job %s: %s (%s)", id, done.Status, done.Error)
 		}
+	}
+}
+
+func TestMapdBenchMatrices(t *testing.T) {
+	srv, _ := newTestServer(t)
+	var out struct {
+		Matrices []bench.Spec `json:"matrices"`
+	}
+	if code := getJSON(t, srv.URL+"/v1/bench/matrices", &out); code != http.StatusOK {
+		t.Fatalf("GET /v1/bench/matrices: %d", code)
+	}
+	if len(out.Matrices) == 0 {
+		t.Fatal("no canonical matrices served")
+	}
+	names := make(map[string]bool)
+	for _, m := range out.Matrices {
+		names[m.Name] = true
+		// Every served matrix must expand cleanly, so a client can turn
+		// it straight into engine batches.
+		if _, _, err := m.Expand(); err != nil {
+			t.Errorf("matrix %s does not expand: %v", m.Name, err)
+		}
+	}
+	if !names["smoke"] || !names["paper"] {
+		t.Errorf("served matrices %v, want smoke and paper", names)
 	}
 }

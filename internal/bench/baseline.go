@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Regression is one quality metric that got worse than the baseline
+// allows.
+type Regression struct {
+	Scenario string  `json:"scenario"`
+	Metric   string  `json:"metric"`
+	Baseline float64 `json:"baseline"`
+	Current  float64 `json:"current"`
+	// Ratio is Current/Baseline (> 1+tol triggered the regression).
+	Ratio float64 `json:"ratio"`
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s %.6g -> %.6g (x%.4f)", r.Scenario, r.Metric, r.Baseline, r.Current, r.Ratio)
+}
+
+// Diff is the outcome of comparing a run against a baseline.
+type Diff struct {
+	// Regressions lists quality metrics beyond tolerance, worst first.
+	Regressions []Regression `json:"regressions,omitempty"`
+	// Missing lists baseline scenarios absent from (or failed in) the
+	// current run — treated as regressions by OK.
+	Missing []string `json:"missing,omitempty"`
+	// Compared counts the (scenario, metric) pairs checked.
+	Compared int `json:"compared"`
+	// Improved counts metrics that got better by more than the
+	// tolerance (informational).
+	Improved int `json:"improved"`
+}
+
+// OK reports whether the run is no worse than the baseline.
+func (d *Diff) OK() bool { return len(d.Regressions) == 0 && len(d.Missing) == 0 }
+
+// gatedMetrics are the per-scenario quality numbers the baseline gate
+// checks. All are "lower is better", deterministic for a fixed seed,
+// and meaningful to an engine change: the post-enhancement objective,
+// its improvement quotient, the auxiliary dilation, and the balance
+// guarantee.
+func gatedMetrics(q *Quality) []struct {
+	Name  string
+	Value float64
+} {
+	return []struct {
+		Name  string
+		Value float64
+	}{
+		{"coco_after.mean", q.CocoAfter.Mean},
+		{"coco_quotient.mean", q.CocoQuotient.Mean},
+		{"cut_after.mean", q.CutAfter.Mean},
+		{"dilation_after.max", q.DilationAfter.Max},
+		{"imbalance_after.max", q.ImbalanceAfter.Max},
+	}
+}
+
+// Compare checks every baseline scenario against the current run:
+// a gated metric regresses when current > baseline·(1+tol). Scenarios
+// present only in the current run are ignored (growing the matrix is
+// not a regression); scenarios missing from or failed in the current
+// run are. Performance fields are deliberately not gated — wall times
+// are machine noise in CI — but both sides' quality metrics come from
+// identical engine result schemas, so the comparison is exact.
+func Compare(baseline, current *Results, tol float64) *Diff {
+	if tol < 0 {
+		tol = 0
+	}
+	cur := make(map[string]*ScenarioResult, len(current.Scenarios))
+	for i := range current.Scenarios {
+		cur[current.Scenarios[i].Name] = &current.Scenarios[i]
+	}
+	d := &Diff{}
+	for _, base := range baseline.Scenarios {
+		if base.Quality == nil {
+			continue // baseline itself failed here; nothing to hold against
+		}
+		c, ok := cur[base.Name]
+		if !ok || c.Quality == nil {
+			d.Missing = append(d.Missing, base.Name)
+			continue
+		}
+		bm, cm := gatedMetrics(base.Quality), gatedMetrics(c.Quality)
+		for i, b := range bm {
+			d.Compared++
+			curV := cm[i].Value
+			switch {
+			case curV > b.Value*(1+tol):
+				ratio := 0.0
+				if b.Value != 0 {
+					ratio = curV / b.Value
+				}
+				d.Regressions = append(d.Regressions, Regression{
+					Scenario: base.Name,
+					Metric:   b.Name,
+					Baseline: b.Value,
+					Current:  curV,
+					Ratio:    ratio,
+				})
+			case curV < b.Value*(1-tol):
+				d.Improved++
+			}
+		}
+	}
+	sort.Slice(d.Regressions, func(i, j int) bool {
+		return d.Regressions[i].Ratio > d.Regressions[j].Ratio
+	})
+	return d
+}

@@ -1,0 +1,150 @@
+// Package bench is the scenario-matrix benchmark harness of the
+// reproduction. The paper's contribution (conf_icpp_GlantzPM18) is an
+// empirical claim — TIMER's partial-cube-label enhancement beats the
+// greedy and DRB baselines on Coco and dilation across a graph ×
+// topology matrix — so the repository needs a first-class way to run
+// that matrix, record the outcome machine-readably, and catch a
+// regression when the engine hot path changes.
+//
+// The harness has three layers:
+//
+//   - a declarative matrix (Spec): graph families from internal/netgen
+//     × canonical topology specs from internal/topology × initial
+//     mappers (random, IDENTITY, GREEDYALLC, GREEDYMIN, DRB/SCOTCH) ×
+//     repetitions with derived per-rep seeds;
+//   - a runner (Run) executing every cell as jobs on the concurrent
+//     mapping engine's worker pool, collecting quality metrics (Coco,
+//     cut, dilation, imbalance before/after enhancement) and
+//     performance metrics (per-stage wall times from the engine's job
+//     results, jobs/sec throughput);
+//   - a baseline gate (Compare) diffing two result files with a
+//     relative tolerance, so CI can fail when a quality metric
+//     regresses.
+//
+// Quality metrics are deterministic for a fixed matrix and seed —
+// byte-identical across runs once performance fields are stripped
+// (StripPerf) — which is what makes the committed-baseline CI gate
+// possible. cmd/mapbench is the CLI front-end; the repro facade
+// re-exports the canonical matrices (Smoke, Paper) for library use and
+// mapd serves them for clients.
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/netgen"
+	"repro/internal/topology"
+)
+
+// Spec is a declarative benchmark matrix: the cross product of
+// networks × topologies × cases, each cell run Reps times. Specs are
+// JSON-serializable so matrices can live in files (mapbench -matrix)
+// and travel over HTTP (mapd's /v1/bench/matrices).
+type Spec struct {
+	// Name identifies the matrix in results and reports.
+	Name string `json:"name"`
+	// Networks are netgen catalog names (the paper's Table 1 suite).
+	Networks []string `json:"networks"`
+	// Scale shrinks every generated network (default 1.0 = paper size).
+	Scale float64 `json:"scale,omitempty"`
+	// Topologies are topology specs, canonicalized at expansion
+	// ("grid:16x16", "torus:8x8x8", "hypercube:8" or paper aliases).
+	Topologies []string `json:"topologies"`
+	// Cases name the initial mappers, in ParseCase syntax: "random",
+	// "identity", "greedyallc", "greedymin", "scotch" (or c0–c4).
+	Cases []string `json:"cases"`
+	// Reps runs every cell this many times with derived seeds
+	// (default 1).
+	Reps int `json:"reps,omitempty"`
+	// Seed drives network generation and the per-rep pipeline seeds
+	// (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Epsilon is the partitioning imbalance (default 0.03).
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// NumHierarchies is TIMER's NH (default 50).
+	NumHierarchies int `json:"num_hierarchies,omitempty"`
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Scale <= 0 || s.Scale > 1 {
+		s.Scale = 1
+	}
+	if s.Reps <= 0 {
+		s.Reps = 1
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// Scenario is one expanded cell of a matrix: a (network, topology,
+// case) triple with a stable name used to match results across runs.
+type Scenario struct {
+	// Name is "network/topology/case", e.g.
+	// "p2p-Gnutella/grid:16x16/IDENTITY".
+	Name     string  `json:"name"`
+	Network  string  `json:"network"`
+	Scale    float64 `json:"scale"`
+	Topology string  `json:"topology"`
+	// Case is the initial mapper (engine baseline name).
+	Case engine.Case `json:"case"`
+}
+
+// Expand validates the spec and unrolls it into scenarios, dropping
+// cells whose scaled network would not have more vertices than the
+// topology has PEs (the engine would reject them). It returns the
+// runnable scenarios and the number of cells skipped as too small.
+func (s Spec) Expand() ([]Scenario, int, error) {
+	s = s.withDefaults()
+	if len(s.Networks) == 0 || len(s.Topologies) == 0 || len(s.Cases) == 0 {
+		return nil, 0, fmt.Errorf("bench: matrix %q needs at least one network, one topology and one case", s.Name)
+	}
+	seen := make(map[string]bool)
+	var out []Scenario
+	skipped := 0
+	for _, name := range s.Networks {
+		net, err := netgen.ByName(name)
+		if err != nil {
+			return nil, 0, fmt.Errorf("bench: matrix %q: %w", s.Name, err)
+		}
+		// Generate applies the same floor, so this predicts the real size.
+		n := int(float64(net.FullV) * s.Scale)
+		if n < 64 {
+			n = 64
+		}
+		for _, topoSpec := range s.Topologies {
+			parsed, err := topology.ParseSpec(topoSpec)
+			if err != nil {
+				return nil, 0, fmt.Errorf("bench: matrix %q: %w", s.Name, err)
+			}
+			if n <= parsed.PEs() {
+				skipped += len(s.Cases)
+				continue
+			}
+			for _, caseName := range s.Cases {
+				c, err := engine.ParseCase(caseName)
+				if err != nil {
+					return nil, 0, fmt.Errorf("bench: matrix %q: %w", s.Name, err)
+				}
+				sc := Scenario{
+					Name:     name + "/" + parsed.String() + "/" + c.String(),
+					Network:  name,
+					Scale:    s.Scale,
+					Topology: parsed.String(),
+					Case:     c,
+				}
+				if seen[sc.Name] {
+					return nil, 0, fmt.Errorf("bench: matrix %q: duplicate scenario %q", s.Name, sc.Name)
+				}
+				seen[sc.Name] = true
+				out = append(out, sc)
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, skipped, fmt.Errorf("bench: matrix %q expands to no runnable scenarios (%d skipped as too small)", s.Name, skipped)
+	}
+	return out, skipped, nil
+}

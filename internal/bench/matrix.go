@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Smoke returns the canonical CI matrix: small generated networks over
+// two 64-PE topologies with every mapper family represented, sized to
+// finish well under a minute on a CI runner while still exercising the
+// whole partition → map → enhance pipeline. Its quality metrics gate
+// regressions against the committed BENCH_baseline.json.
+func Smoke() Spec {
+	return Spec{
+		Name:     "smoke",
+		Networks: []string{"p2p-Gnutella", "PGPgiantcompo"},
+		Scale:    0.25,
+		Topologies: []string{
+			"grid:8x8",
+			"hypercube:6",
+		},
+		Cases:          []string{"random", "identity", "greedyallc", "greedymin", "scotch"},
+		Reps:           2,
+		Seed:           1,
+		NumHierarchies: 16,
+	}
+}
+
+// Paper returns the full paper-style matrix: the Table 1 network suite
+// at full scale over the five Section 7 processor graphs, cases c1–c4,
+// five repetitions, NH = 50. Running it reproduces the shape of the
+// paper's Tables 2–3 and Figures 5a–5d as one machine-readable file
+// (expect hours, not seconds).
+func Paper() Spec {
+	return Spec{
+		Name: "paper",
+		Networks: []string{
+			"p2p-Gnutella", "PGPgiantcompo", "email-EuAll", "as-22july06",
+			"soc-Slashdot0902", "loc-brightkite_edges", "loc-gowalla_edges",
+			"citationCiteseer", "coAuthorsCiteseer", "wiki-Talk",
+			"coAuthorsDBLP", "web-Google", "coPapersCiteseer",
+			"coPapersDBLP", "as-skitter",
+		},
+		Scale: 1,
+		Topologies: []string{
+			"grid:16x16", "grid:8x8x8", "torus:16x16", "torus:8x8x8", "hypercube:8",
+		},
+		Cases:          []string{"scotch", "identity", "greedyallc", "greedymin"},
+		Reps:           5,
+		Seed:           1,
+		NumHierarchies: 50,
+	}
+}
+
+// Matrices lists the canonical matrices by name.
+func Matrices() []Spec { return []Spec{Smoke(), Paper()} }
+
+// ByName returns the canonical matrix with the given name.
+func ByName(name string) (Spec, error) {
+	for _, m := range Matrices() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("bench: unknown matrix %q (want smoke or paper)", name)
+}
+
+// LoadSpec reads a matrix spec from a JSON file.
+func LoadSpec(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("bench: reading matrix: %w", err)
+	}
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Spec{}, fmt.Errorf("bench: parsing matrix %s: %w", path, err)
+	}
+	return s, nil
+}

@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/metrics"
+)
+
+// Quality summarizes the deterministic quality metrics of one scenario
+// over its repetitions as min/mean/max triples (the paper's Section 7.1
+// statistics). For a fixed matrix and seed these values are
+// reproducible bit for bit, which is what the CI baseline gate relies
+// on.
+type Quality struct {
+	CocoBefore metrics.Triple `json:"coco_before"`
+	CocoAfter  metrics.Triple `json:"coco_after"`
+	// CocoQuotient divides after by before componentwise (the paper's
+	// q-values; < 1 means TIMER improved the mapping).
+	CocoQuotient metrics.Triple `json:"coco_quotient"`
+
+	CutBefore   metrics.Triple `json:"cut_before"`
+	CutAfter    metrics.Triple `json:"cut_after"`
+	CutQuotient metrics.Triple `json:"cut_quotient"`
+
+	DilationBefore metrics.Triple `json:"dilation_before"`
+	DilationAfter  metrics.Triple `json:"dilation_after"`
+
+	// ImbalanceBefore/After is the load factor (max PE load / ideal).
+	// TIMER preserves balance exactly, so the two must agree.
+	ImbalanceBefore metrics.Triple `json:"imbalance_before"`
+	ImbalanceAfter  metrics.Triple `json:"imbalance_after"`
+
+	HierarchiesKept metrics.Triple `json:"hierarchies_kept"`
+	SwapsApplied    metrics.Triple `json:"swaps_applied"`
+}
+
+// Perf summarizes the machine-dependent performance metrics of one
+// scenario. StripPerf removes these before determinism comparisons.
+type Perf struct {
+	// BaseSeconds is the initial-mapping time (partitioning or DRB);
+	// TimerSeconds the enhancement time — the paper's Table 2 axes.
+	BaseSeconds  metrics.Triple `json:"base_seconds"`
+	TimerSeconds metrics.Triple `json:"timer_seconds"`
+	// StageSeconds summarizes each engine pipeline stage's wall time
+	// over the repetitions, keyed by stage name (topology, graph,
+	// partition, map, drb, enhance).
+	StageSeconds map[string]metrics.Triple `json:"stage_seconds,omitempty"`
+	// JobSeconds is the end-to-end pipeline time per repetition.
+	JobSeconds metrics.Triple `json:"job_seconds"`
+}
+
+// ScenarioResult is the outcome of one matrix cell.
+type ScenarioResult struct {
+	Scenario
+	PEs    int `json:"pes"`
+	GraphN int `json:"graph_n"`
+	GraphM int `json:"graph_m"`
+	Reps   int `json:"reps"`
+
+	// Error is set when any repetition failed; Quality/Perf are then
+	// absent and the baseline gate treats the scenario as regressed.
+	Error   string   `json:"error,omitempty"`
+	Quality *Quality `json:"quality,omitempty"`
+	Perf    *Perf    `json:"perf,omitempty"`
+}
+
+// Summary aggregates a whole run, geometric means across scenarios in
+// the style of the paper's qX^gm values.
+type Summary struct {
+	Scenarios int `json:"scenarios"`
+	Skipped   int `json:"skipped,omitempty"`
+	Failed    int `json:"failed,omitempty"`
+	Jobs      int `json:"jobs"`
+
+	// GeoCocoQuotient / GeoCutQuotient are geometric means over the
+	// scenarios' mean quotients — the headline enhancement factors.
+	GeoCocoQuotient float64 `json:"geo_coco_quotient"`
+	GeoCutQuotient  float64 `json:"geo_cut_quotient"`
+	// CaseGeoCocoQuotient breaks GeoCocoQuotient down per initial
+	// mapper (the paper reports c1–c4 separately).
+	CaseGeoCocoQuotient map[string]float64 `json:"case_geo_coco_quotient,omitempty"`
+}
+
+// RunPerf is the machine-dependent throughput of a whole run.
+type RunPerf struct {
+	WallSeconds float64 `json:"wall_seconds"`
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+	Workers     int     `json:"workers"`
+}
+
+// Results is the machine-readable outcome of one matrix run — the
+// BENCH_results.json schema.
+type Results struct {
+	Matrix string `json:"matrix"`
+	// Spec is the fully-resolved matrix, sufficient to re-run the bench.
+	Spec      Spec   `json:"spec"`
+	GoVersion string `json:"go_version,omitempty"`
+	GOOS      string `json:"goos,omitempty"`
+	GOARCH    string `json:"goarch,omitempty"`
+
+	Scenarios []ScenarioResult `json:"scenarios"`
+	Summary   Summary          `json:"summary"`
+	Perf      *RunPerf         `json:"perf,omitempty"`
+}
+
+// StripPerf removes every machine-dependent field (wall times,
+// throughput, host identity), leaving only the deterministic quality
+// payload: two runs of the same matrix and seed must then be
+// byte-identical when encoded.
+func (r *Results) StripPerf() {
+	r.Perf = nil
+	r.GoVersion, r.GOOS, r.GOARCH = "", "", ""
+	for i := range r.Scenarios {
+		r.Scenarios[i].Perf = nil
+	}
+}
+
+// Encode renders the results as indented JSON with a trailing newline.
+func (r *Results) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("bench: encoding results: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteFile writes the results to a JSON file.
+func (r *Results) WriteFile(path string) error {
+	data, err := r.Encode()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("bench: writing results: %w", err)
+	}
+	return nil
+}
+
+// ReadFile loads a results file written by WriteFile.
+func ReadFile(path string) (*Results, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: reading results: %w", err)
+	}
+	var r Results
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: parsing results %s: %w", path, err)
+	}
+	return &r, nil
+}

@@ -1,0 +1,272 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/netgen"
+)
+
+// RunOptions tunes a matrix run without changing what is measured.
+type RunOptions struct {
+	// Workers sizes the engine's worker pool (default GOMAXPROCS).
+	Workers int
+	// Reps overrides the spec's repetition count when > 0.
+	Reps int
+	// Seed overrides the spec's seed when != 0.
+	Seed int64
+	// Progress, when non-nil, receives one line per completed scenario.
+	Progress func(line string)
+	// Engine, when non-nil, runs the matrix on an existing engine
+	// (sharing its topology cache) instead of a private one. The
+	// engine's queue and retention window must cover the whole matrix.
+	Engine *engine.Engine
+}
+
+// Run expands the matrix and executes every cell on the concurrent
+// mapping engine: each repetition is one engine job with a derived seed
+// (engine.BatchSeed, matching the evaluation harness), each network is
+// generated exactly once and shared read-only across its jobs, and all
+// jobs flow through one worker pool so the matrix saturates the
+// machine. Individual job failures mark their scenario failed without
+// aborting the run.
+func Run(spec Spec, opt RunOptions) (*Results, error) {
+	spec = spec.withDefaults()
+	if opt.Reps > 0 {
+		spec.Reps = opt.Reps
+	}
+	if opt.Seed != 0 {
+		spec.Seed = opt.Seed
+	}
+	scenarios, skipped, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	progress := opt.Progress
+	if progress == nil {
+		progress = func(string) {}
+	}
+
+	// One generated instance per network, shared by every scenario that
+	// names it: repetitions and cases must vary only the pipeline seed,
+	// never the graph. Generation runs concurrently — each instance
+	// depends only on (name, scale, seed), so the paper-scale networks
+	// don't serialize the whole startup — and stays deterministic.
+	slots := make(map[string]**graph.Graph, len(spec.Networks))
+	var wg sync.WaitGroup
+	for _, sc := range scenarios {
+		if _, ok := slots[sc.Network]; ok {
+			continue
+		}
+		net, err := netgen.ByName(sc.Network)
+		if err != nil {
+			wg.Wait()
+			return nil, fmt.Errorf("bench: %w", err)
+		}
+		slot := new(*graph.Graph)
+		slots[sc.Network] = slot
+		wg.Add(1)
+		go func(scale float64) {
+			defer wg.Done()
+			*slot = net.Generate(scale, spec.Seed)
+		}(sc.Scale)
+	}
+	wg.Wait()
+	graphs := make(map[string]*graph.Graph, len(slots))
+	for name, slot := range slots {
+		graphs[name] = *slot
+	}
+
+	total := len(scenarios) * spec.Reps
+	eng := opt.Engine
+	if eng == nil {
+		eng = engine.New(engine.Options{
+			Workers:    opt.Workers,
+			QueueCap:   total,
+			RetainJobs: total + 1,
+		})
+		defer eng.Close()
+	}
+
+	start := time.Now()
+	ids := make([]string, 0, total)
+	for _, sc := range scenarios {
+		for rep := 0; rep < spec.Reps; rep++ {
+			job, err := eng.Submit(engine.JobSpec{
+				Graph: engine.GraphSpec{
+					Network: sc.Network,
+					Scale:   sc.Scale,
+					Seed:    spec.Seed,
+					G:       graphs[sc.Network],
+				},
+				Topology:       sc.Topology,
+				Case:           sc.Case,
+				Epsilon:        spec.Epsilon,
+				Seed:           engine.BatchSeed(spec.Seed, rep, sc.Case),
+				NumHierarchies: spec.NumHierarchies,
+			})
+			if err != nil {
+				// Drain what was already enqueued before failing: those
+				// jobs run regardless.
+				for _, id := range ids {
+					eng.Wait(id)
+				}
+				return nil, fmt.Errorf("bench: submitting %s rep %d: %w", sc.Name, rep, err)
+			}
+			ids = append(ids, job.ID)
+		}
+	}
+
+	res := &Results{
+		Matrix:    spec.Name,
+		Spec:      spec,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Scenarios: make([]ScenarioResult, 0, len(scenarios)),
+	}
+	var cocoQs, cutQs []float64
+	caseQs := make(map[string][]float64)
+	failed := 0
+	for si, sc := range scenarios {
+		reps := make([]*engine.JobResult, 0, spec.Reps)
+		var firstErr error
+		for rep := 0; rep < spec.Reps; rep++ {
+			job, err := eng.Wait(ids[si*spec.Reps+rep])
+			switch {
+			case err != nil:
+				if firstErr == nil {
+					firstErr = err
+				}
+			case job.Status != engine.StatusDone:
+				if firstErr == nil {
+					firstErr = fmt.Errorf("job %s: %s", job.ID, job.Error)
+				}
+			default:
+				reps = append(reps, job.Result)
+			}
+		}
+		sr := ScenarioResult{Scenario: sc, Reps: spec.Reps}
+		if firstErr != nil {
+			sr.Error = firstErr.Error()
+			failed++
+			progress(fmt.Sprintf("FAIL %s: %v", sc.Name, firstErr))
+		} else {
+			fillScenario(&sr, reps)
+			cocoQs = append(cocoQs, sr.Quality.CocoQuotient.Mean)
+			cutQs = append(cutQs, sr.Quality.CutQuotient.Mean)
+			cn := sc.Case.String()
+			caseQs[cn] = append(caseQs[cn], sr.Quality.CocoQuotient.Mean)
+			progress(fmt.Sprintf("done %s: qCoco mean %.4f (%d reps, %.2fs)",
+				sc.Name, sr.Quality.CocoQuotient.Mean, spec.Reps, sr.Perf.JobSeconds.Mean))
+		}
+		res.Scenarios = append(res.Scenarios, sr)
+	}
+	wall := time.Since(start).Seconds()
+
+	res.Summary = Summary{
+		Scenarios:       len(scenarios),
+		Skipped:         skipped,
+		Failed:          failed,
+		Jobs:            total,
+		GeoCocoQuotient: geoMeanOrZero(cocoQs),
+		GeoCutQuotient:  geoMeanOrZero(cutQs),
+	}
+	if len(caseQs) > 0 {
+		res.Summary.CaseGeoCocoQuotient = make(map[string]float64, len(caseQs))
+		for c, qs := range caseQs {
+			res.Summary.CaseGeoCocoQuotient[c] = geoMeanOrZero(qs)
+		}
+	}
+	res.Perf = &RunPerf{
+		WallSeconds: wall,
+		JobsPerSec:  float64(total) / wall,
+		Workers:     eng.Workers(),
+	}
+	return res, nil
+}
+
+// fillScenario aggregates the repetitions of one scenario into
+// min/mean/max triples.
+func fillScenario(sr *ScenarioResult, reps []*engine.JobResult) {
+	first := reps[0]
+	sr.PEs, sr.GraphN, sr.GraphM = first.PEs, first.GraphN, first.GraphM
+
+	var cocoB, cocoA, cutB, cutA []int64
+	var dilB, dilA, imbB, imbA, kept, swaps, baseS, timerS, jobS []float64
+	stageS := make(map[string][]float64)
+	for _, r := range reps {
+		cocoB = append(cocoB, r.CocoBefore)
+		cocoA = append(cocoA, r.CocoAfter)
+		cutB = append(cutB, r.CutBefore)
+		cutA = append(cutA, r.CutAfter)
+		dilB = append(dilB, float64(r.DilationBefore))
+		dilA = append(dilA, float64(r.DilationAfter))
+		imbB = append(imbB, r.ImbalanceBefore)
+		imbA = append(imbA, r.ImbalanceAfter)
+		kept = append(kept, float64(r.HierarchiesKept))
+		swaps = append(swaps, float64(r.SwapsApplied))
+		baseS = append(baseS, r.BaseSeconds)
+		timerS = append(timerS, r.TimerSeconds)
+		var sum float64
+		for _, st := range r.Stages {
+			stageS[st.Name] = append(stageS[st.Name], st.Seconds)
+			sum += st.Seconds
+		}
+		jobS = append(jobS, sum)
+	}
+
+	q := &Quality{
+		CocoBefore:      metrics.SummarizeInts(cocoB),
+		CocoAfter:       metrics.SummarizeInts(cocoA),
+		CutBefore:       metrics.SummarizeInts(cutB),
+		CutAfter:        metrics.SummarizeInts(cutA),
+		DilationBefore:  metrics.Summarize(dilB),
+		DilationAfter:   metrics.Summarize(dilA),
+		ImbalanceBefore: metrics.Summarize(imbB),
+		ImbalanceAfter:  metrics.Summarize(imbA),
+		HierarchiesKept: metrics.Summarize(kept),
+		SwapsApplied:    metrics.Summarize(swaps),
+	}
+	q.CocoQuotient = metrics.Quotient(q.CocoAfter, q.CocoBefore)
+	q.CutQuotient = metrics.Quotient(q.CutAfter, q.CutBefore)
+	sr.Quality = q
+
+	p := &Perf{
+		BaseSeconds:  metrics.Summarize(baseS),
+		TimerSeconds: metrics.Summarize(timerS),
+		JobSeconds:   metrics.Summarize(jobS),
+	}
+	if len(stageS) > 0 {
+		p.StageSeconds = make(map[string]metrics.Triple, len(stageS))
+		for name, xs := range stageS {
+			p.StageSeconds[name] = metrics.Summarize(xs)
+		}
+	}
+	sr.Perf = p
+}
+
+// geoMeanOrZero is the geometric mean of the positive values, or 0 when
+// there are none (every scenario failed, say): metrics.GeoMean's NaN
+// would make the results unencodable as JSON and mask the per-scenario
+// errors that are the actual signal.
+func geoMeanOrZero(xs []float64) float64 {
+	pos := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if x > 0 {
+			pos = append(pos, x)
+		}
+	}
+	if len(pos) == 0 {
+		return 0
+	}
+	return metrics.GeoMean(pos)
+}

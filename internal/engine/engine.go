@@ -238,15 +238,10 @@ func (e *Engine) Jobs() []Job {
 
 // Run executes a job synchronously on the calling goroutine, bypassing
 // the queue (library convenience; the topology still goes through the
-// cache). The job is not registered in the engine's job table.
-func (e *Engine) Run(spec JobSpec) (*JobResult, []Stage, error) {
-	var stages []Stage
-	res, err := runPipeline(spec, e.cache.Get, func(name string, seconds float64) {
-		if seconds >= 0 {
-			stages = append(stages, Stage{Name: name, Seconds: seconds})
-		}
-	})
-	return res, stages, err
+// cache). The job is not registered in the engine's job table. Per-stage
+// timings are in the result's Stages field.
+func (e *Engine) Run(spec JobSpec) (*JobResult, error) {
+	return runPipeline(spec, e.cache.Get, nil)
 }
 
 func (e *Engine) worker() {

@@ -147,7 +147,7 @@ func TestConcurrentSubmissionsDeterministic(t *testing.T) {
 		if err := json.Unmarshal(b, &r); err != nil {
 			t.Fatal(err)
 		}
-		r.BaseSeconds, r.TimerSeconds = 0, 0
+		r.BaseSeconds, r.TimerSeconds, r.Stages = 0, 0, nil
 		out, _ := json.Marshal(r)
 		return out
 	}
@@ -164,12 +164,12 @@ func TestConcurrentSubmissionsDeterministic(t *testing.T) {
 func TestRunSyncMatchesSubmitted(t *testing.T) {
 	e := New(Options{Workers: 2})
 	defer e.Close()
-	res, stages, err := e.Run(testJobSpec(3))
+	res, err := e.Run(testJobSpec(3))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(stages) == 0 {
-		t.Error("no stage timings from synchronous run")
+	if len(res.Stages) == 0 {
+		t.Error("no stage timings in synchronous run result")
 	}
 	job, err := e.Submit(testJobSpec(3))
 	if err != nil {

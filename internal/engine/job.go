@@ -3,6 +3,7 @@ package engine
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"strings"
 	"time"
 
@@ -33,6 +34,11 @@ const (
 	// C4GreedyMin: initial mapping from GREEDYMIN (the LibTopoMap-style
 	// construction).
 	C4GreedyMin
+	// C0Random: a seeded random (but balance-preserving) block-to-PE
+	// placement on a multilevel partition. Not one of the paper's cases —
+	// the bench harness uses it as the sanity floor every real mapper
+	// must beat.
+	C0Random
 )
 
 // orDefault resolves CaseUnspecified to the IDENTITY default.
@@ -54,6 +60,8 @@ func (c Case) String() string {
 		return "GREEDYALLC"
 	case C4GreedyMin:
 		return "GREEDYMIN"
+	case C0Random:
+		return "RANDOM"
 	default:
 		return fmt.Sprintf("Case(%d)", int(c))
 	}
@@ -74,8 +82,10 @@ func ParseCase(s string) (Case, error) {
 		return C3GreedyAllC, nil
 	case "c4", "greedymin":
 		return C4GreedyMin, nil
+	case "c0", "random":
+		return C0Random, nil
 	default:
-		return 0, fmt.Errorf("engine: unknown case %q (want c1/scotch, c2/identity, c3/greedyallc or c4/greedymin)", s)
+		return 0, fmt.Errorf("engine: unknown case %q (want c1/scotch, c2/identity, c3/greedyallc, c4/greedymin or c0/random)", s)
 	}
 }
 
@@ -242,6 +252,15 @@ type JobResult struct {
 	// mapping).
 	CocoQuotient float64 `json:"coco_quotient"`
 
+	// DilationBefore/After is the maximum hop distance of any
+	// communicating pair; ImbalanceBefore/After is the heaviest PE load
+	// over the ideal load (paper Eq. (1)). TIMER preserves balance
+	// exactly, so the two imbalance numbers must agree.
+	DilationBefore  int     `json:"dilation_before"`
+	DilationAfter   int     `json:"dilation_after"`
+	ImbalanceBefore float64 `json:"imbalance_before"`
+	ImbalanceAfter  float64 `json:"imbalance_after"`
+
 	HierarchiesKept int `json:"hierarchies_kept"`
 	SwapsApplied    int `json:"swaps_applied"`
 
@@ -250,6 +269,12 @@ type JobResult struct {
 	// the numerator/denominator of the paper's Table 2 quotients.
 	BaseSeconds  float64 `json:"base_seconds"`
 	TimerSeconds float64 `json:"timer_seconds"`
+
+	// Stages are the per-stage wall times of the pipeline in execution
+	// order — the same numbers the engine streams into a running Job's
+	// snapshot, retained here so every consumer (mapd, bench, library
+	// callers) reports identical timings.
+	Stages []Stage `json:"stages,omitempty"`
 
 	Assignment []int32 `json:"assignment,omitempty"`
 }
@@ -291,11 +316,14 @@ func runPipeline(spec JobSpec, resolve func(string) (*topology.Topology, error),
 	if stage == nil {
 		stage = func(string, float64) {}
 	}
+	var stages []Stage
 	timed := func(name string, f func() error) error {
 		stage(name, -1) // entering
 		t0 := time.Now()
 		err := f()
-		stage(name, time.Since(t0).Seconds())
+		sec := time.Since(t0).Seconds()
+		stages = append(stages, Stage{Name: name, Seconds: sec})
+		stage(name, sec)
 		return err
 	}
 
@@ -363,6 +391,15 @@ func runPipeline(spec JobSpec, resolve func(string) (*topology.Topology, error),
 			case C2Identity:
 				assign = mapping.FromPartition(part.Part)
 				return nil
+			case C0Random:
+				// A seeded random bijection of blocks onto PEs: balance
+				// comes from the partition, placement is noise.
+				nu := make([]int32, topo.P())
+				for i, pe := range rand.New(rand.NewSource(spec.Seed)).Perm(topo.P()) {
+					nu[i] = int32(pe)
+				}
+				assign = mapping.Compose(part.Part, nu)
+				return nil
 			case C3GreedyAllC, C4GreedyMin:
 				gc := mapping.CommGraph(ga, part.Part, topo.P())
 				var nu []int32
@@ -387,6 +424,8 @@ func runPipeline(spec JobSpec, resolve func(string) (*topology.Topology, error),
 
 	res.CutBefore = mapping.Cut(ga, assign)
 	res.CocoBefore = mapping.Coco(ga, assign, topo)
+	res.DilationBefore = mapping.Dilation(ga, assign, topo)
+	res.ImbalanceBefore = mapping.Imbalance(ga, assign, topo.P())
 
 	if err := timed("enhance", func() error {
 		t0 := time.Now()
@@ -402,6 +441,8 @@ func runPipeline(spec JobSpec, resolve func(string) (*topology.Topology, error),
 		res.TimerSeconds = time.Since(t0).Seconds()
 		res.CutAfter = mapping.Cut(ga, tr.Assign)
 		res.CocoAfter = mapping.Coco(ga, tr.Assign, topo)
+		res.DilationAfter = mapping.Dilation(ga, tr.Assign, topo)
+		res.ImbalanceAfter = mapping.Imbalance(ga, tr.Assign, topo.P())
 		res.HierarchiesKept = tr.HierarchiesKept
 		res.SwapsApplied = tr.SwapsApplied
 		if spec.IncludeAssignment {
@@ -414,5 +455,6 @@ func runPipeline(spec JobSpec, resolve func(string) (*topology.Topology, error),
 	if res.CocoBefore > 0 {
 		res.CocoQuotient = float64(res.CocoAfter) / float64(res.CocoBefore)
 	}
+	res.Stages = stages
 	return res, nil
 }

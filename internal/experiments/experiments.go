@@ -150,7 +150,7 @@ type InstanceResult struct {
 // the shared engine (synchronously, on the calling goroutine).
 func RunRep(ga *graph.Graph, topo *topology.Topology, c Case, cfg Config, seed int64) (RepMeasurement, error) {
 	cfg = cfg.withDefaults()
-	res, _, err := sharedEngine().Run(jobFor(ga, topo, c, cfg, seed))
+	res, err := sharedEngine().Run(jobFor(ga, topo, c, cfg, seed))
 	if err != nil {
 		return RepMeasurement{}, fmt.Errorf("experiments: %w", err)
 	}

@@ -112,6 +112,26 @@ func Validate(ga *graph.Graph, assign []int32, topo *topology.Topology, eps floa
 	return nil
 }
 
+// Imbalance returns the load factor of a mapping: the heaviest PE's
+// weight divided by the ideal load ⌈W/P⌉ of paper Eq. (1). A perfectly
+// balanced mapping scores ≤ 1; an ε-balanced one scores ≤ 1+ε.
+func Imbalance(ga *graph.Graph, assign []int32, p int) float64 {
+	if p <= 0 || ga.N() == 0 {
+		return 0
+	}
+	var max int64
+	for _, c := range BlockSizes(ga, assign, p) {
+		if c > max {
+			max = c
+		}
+	}
+	ideal := (ga.TotalVertexWeight() + int64(p) - 1) / int64(p)
+	if ideal == 0 {
+		return 0
+	}
+	return float64(max) / float64(ideal)
+}
+
 // BlockSizes returns the weight mapped to each PE.
 func BlockSizes(ga *graph.Graph, assign []int32, p int) []int64 {
 	s := make([]int64, p)

@@ -25,6 +25,9 @@ type Report struct {
 	// exactly once per differing label digit.
 	MaxCutTraffic int64
 	AvgCutTraffic float64
+	// Imbalance is the heaviest PE load over the ideal load ⌈W/P⌉
+	// (paper Eq. (1)); ≤ 1+ε for an ε-balanced mapping.
+	Imbalance float64
 }
 
 // Evaluate computes a full quality report for a mapping.
@@ -34,6 +37,7 @@ func Evaluate(ga *graph.Graph, assign []int32, topo *topology.Topology) Report {
 		Cut:  Cut(ga, assign),
 	}
 	r.Dilation = Dilation(ga, assign, topo)
+	r.Imbalance = Imbalance(ga, assign, topo.P())
 	if r.Cut > 0 {
 		r.AvgHops = float64(r.Coco) / float64(r.Cut)
 	}

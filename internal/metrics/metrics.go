@@ -13,7 +13,9 @@ import (
 // and maximum — the paper computes exactly these three statistics over
 // its 5 repetitions.
 type Triple struct {
-	Min, Mean, Max float64
+	Min  float64 `json:"min"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
 }
 
 // Summarize computes the Triple of a non-empty sample.

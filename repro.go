@@ -40,6 +40,7 @@ package repro
 import (
 	"fmt"
 
+	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/graph"
@@ -89,6 +90,18 @@ type (
 	BatchSpec = engine.BatchSpec
 	// Case selects the initial-mapping baseline c1–c4.
 	Case = engine.Case
+
+	// BenchSpec is a declarative benchmark matrix: networks ×
+	// topologies × mapper cases × repetitions.
+	BenchSpec = bench.Spec
+	// BenchRunOptions tunes a benchmark run (workers, rep/seed
+	// overrides, progress callback).
+	BenchRunOptions = bench.RunOptions
+	// BenchResults is the machine-readable outcome of a benchmark run
+	// (the BENCH_results.json schema).
+	BenchResults = bench.Results
+	// BenchDiff is the outcome of gating a run against a baseline.
+	BenchDiff = bench.Diff
 )
 
 // The four initial-mapping baselines of the paper's evaluation
@@ -117,6 +130,32 @@ func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
 // partition→map→enhance pipelines; the engine's topology cache builds
 // each partial-cube labeling once and shares it across jobs.
 func NewEngine(opt EngineOptions) *Engine { return engine.New(opt) }
+
+// SmokeBenchMatrix returns the canonical CI-sized benchmark matrix:
+// small generated networks over two 64-PE topologies with every mapper
+// family, finishing in well under a minute. Its quality metrics are the
+// repository's regression gate (BENCH_baseline.json).
+func SmokeBenchMatrix() BenchSpec { return bench.Smoke() }
+
+// PaperBenchMatrix returns the full paper-style matrix: the Table 1
+// suite over the five Section 7 topologies, cases c1–c4, five
+// repetitions — the shape of the paper's tables as one run.
+func PaperBenchMatrix() BenchSpec { return bench.Paper() }
+
+// RunBench executes a benchmark matrix on the concurrent mapping
+// engine and returns quality (Coco, cut, dilation, imbalance) and
+// performance (per-stage times, jobs/sec) summaries per scenario.
+// Quality metrics are deterministic for a fixed matrix and seed.
+func RunBench(spec BenchSpec, opt BenchRunOptions) (*BenchResults, error) {
+	return bench.Run(spec, opt)
+}
+
+// CompareBench gates a benchmark run against a baseline: any quality
+// metric worse than baseline·(1+tol), or any baseline scenario missing
+// from the run, makes the diff not OK.
+func CompareBench(baseline, current *BenchResults, tol float64) *BenchDiff {
+	return bench.Compare(baseline, current, tol)
+}
 
 // ParseTopologySpec validates a canonical topology spec string
 // ("grid:16x16", "torus:8x8x8", "hypercube:8" or a paper name) and
