@@ -127,6 +127,8 @@ func printSummary(r *bench.Results) {
 	if r.Perf != nil {
 		fmt.Printf("  %.1fs wall, %.2f jobs/sec on %d workers\n",
 			r.Perf.WallSeconds, r.Perf.JobsPerSec, r.Perf.Workers)
+		fmt.Printf("  %.0f ns/job   %.0f allocs/job   %.0f bytes/job\n",
+			r.Perf.NsPerJob, r.Perf.AllocsPerJob, r.Perf.BytesPerJob)
 	}
 }
 

@@ -32,10 +32,11 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "pipeline worker count (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 0, "job queue capacity (0 = default)")
-		prewarm = flag.String("prewarm", "", "comma-separated topology specs to build at boot ('paper' = the paper's five)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "pipeline worker count (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 0, "job queue capacity (0 = default)")
+		prewarm   = flag.String("prewarm", "", "comma-separated topology specs to build at boot ('paper' = the paper's five)")
+		withPprof = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -55,9 +56,12 @@ func main() {
 		}
 	}
 
+	if *withPprof {
+		log.Printf("mapd: pprof enabled under /debug/pprof/")
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(eng),
+		Handler:           newServer(eng, *withPprof),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       60 * time.Second,
 		WriteTimeout:      60 * time.Second,

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
 
 	"repro/internal/bench"
 	"repro/internal/engine"
@@ -18,13 +20,18 @@ import (
 //	GET  /v1/jobs/{id}     one job: status, stage timings, result
 //	GET  /v1/topologies    topology cache contents + hit/miss stats
 //	GET  /v1/bench/matrices  canonical benchmark matrices (smoke, paper)
+//	GET  /v1/stats         runtime + pool statistics (goroutines, jobs served)
 //	GET  /healthz          liveness + pool stats
+//	GET  /debug/pprof/*    CPU/heap/goroutine profiles (only with -pprof)
 type server struct {
 	eng *engine.Engine
 }
 
-// newServer builds the mapd HTTP handler around an engine.
-func newServer(eng *engine.Engine) http.Handler {
+// newServer builds the mapd HTTP handler around an engine. withPprof
+// additionally mounts net/http/pprof under /debug/pprof/ — opt-in,
+// because profiling endpoints on a production port are an operational
+// decision, not a default.
+func newServer(eng *engine.Engine, withPprof bool) http.Handler {
 	s := &server{eng: eng}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.submitJob)
@@ -33,7 +40,17 @@ func newServer(eng *engine.Engine) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
 	mux.HandleFunc("GET /v1/topologies", s.topologies)
 	mux.HandleFunc("GET /v1/bench/matrices", s.benchMatrices)
+	mux.HandleFunc("GET /v1/stats", s.stats)
 	mux.HandleFunc("GET /healthz", s.healthz)
+	if withPprof {
+		// No method prefix: net/http/pprof's contract is method-agnostic
+		// (go tool pprof POSTs to /debug/pprof/symbol).
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -137,6 +154,27 @@ func (s *server) topologies(w http.ResponseWriter, r *http.Request) {
 // batches.
 func (s *server) benchMatrices(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"matrices": bench.Matrices()})
+}
+
+// stats reports the runtime and pool statistics an operator watches
+// under load: goroutine count, heap footprint, worker-pool and queue
+// state, jobs served, and topology-cache effectiveness.
+func (s *server) stats(w http.ResponseWriter, r *http.Request) {
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	hits, misses := s.eng.Cache().Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"engine":            s.eng.Stats(),
+		"goroutines":        runtime.NumGoroutine(),
+		"heap_alloc_bytes":  mem.HeapAlloc,
+		"total_alloc_bytes": mem.TotalAlloc,
+		"num_gc":            mem.NumGC,
+		"topology_cache": map[string]any{
+			"entries": len(s.eng.Cache().Snapshot()),
+			"hits":    hits,
+			"misses":  misses,
+		},
+	})
 }
 
 func (s *server) healthz(w http.ResponseWriter, r *http.Request) {

@@ -15,7 +15,7 @@ import (
 func newTestServer(t *testing.T) (*httptest.Server, *engine.Engine) {
 	t.Helper()
 	eng := engine.New(engine.Options{Workers: 2})
-	srv := httptest.NewServer(newServer(eng))
+	srv := httptest.NewServer(newServer(eng, true))
 	t.Cleanup(func() {
 		srv.Close()
 		eng.Close()
@@ -195,6 +195,60 @@ func TestMapdBatch(t *testing.T) {
 		if done := waitDone(t, srv, id); done.Status != engine.StatusDone {
 			t.Fatalf("batch job %s: %s (%s)", id, done.Status, done.Error)
 		}
+	}
+}
+
+// TestMapdStatsAndPprof covers the observability surface: /v1/stats
+// must report pool state and count served jobs, and the pprof mount
+// must follow the opt-in flag.
+func TestMapdStatsAndPprof(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	var submitted engine.Job
+	if code := postJSON(t, srv.URL+"/v1/jobs", jobBody, &submitted); code != http.StatusAccepted {
+		t.Fatalf("POST /v1/jobs: status %d", code)
+	}
+	waitDone(t, srv, submitted.ID)
+
+	var stats struct {
+		Engine     engine.Stats `json:"engine"`
+		Goroutines int          `json:"goroutines"`
+		HeapAlloc  uint64       `json:"heap_alloc_bytes"`
+	}
+	if code := getJSON(t, srv.URL+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("GET /v1/stats: %d", code)
+	}
+	if stats.Engine.Workers != 2 || stats.Engine.JobsServed < 1 || stats.Engine.JobsRetained < 1 {
+		t.Errorf("engine stats = %+v, want 2 workers and ≥1 served/retained", stats.Engine)
+	}
+	if stats.Goroutines <= 0 || stats.HeapAlloc == 0 {
+		t.Errorf("runtime stats missing: %+v", stats)
+	}
+
+	// The test server mounts pprof (opt-in flag on).
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index: status %d, want 200", resp.StatusCode)
+	}
+
+	// Without the flag, the profiling surface must not exist.
+	eng := engine.New(engine.Options{Workers: 1})
+	plain := httptest.NewServer(newServer(eng, false))
+	defer func() {
+		plain.Close()
+		eng.Close()
+	}()
+	resp, err = http.Get(plain.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof served without -pprof: status %d, want 404", resp.StatusCode)
 	}
 }
 

@@ -75,12 +75,18 @@ func TestRunFillsQualityAndPerf(t *testing.T) {
 		if len(sc.Perf.StageSeconds) == 0 {
 			t.Errorf("%s: no per-stage timings in result", sc.Name)
 		}
+		if sc.Perf.TimerNsPerHierarchy.Mean <= 0 {
+			t.Errorf("%s: timer ns/hierarchy = %v, want > 0", sc.Name, sc.Perf.TimerNsPerHierarchy)
+		}
 	}
 	if res.Summary.GeoCocoQuotient <= 0 || res.Summary.GeoCocoQuotient > 1 {
 		t.Errorf("geo Coco quotient %g outside (0, 1]", res.Summary.GeoCocoQuotient)
 	}
 	if res.Perf == nil || res.Perf.JobsPerSec <= 0 {
 		t.Errorf("run perf missing or empty: %+v", res.Perf)
+	}
+	if res.Perf != nil && (res.Perf.NsPerJob <= 0 || res.Perf.BytesPerJob <= 0) {
+		t.Errorf("per-job perf columns missing: %+v", res.Perf)
 	}
 }
 

@@ -43,6 +43,10 @@ type Perf struct {
 	// TimerSeconds the enhancement time — the paper's Table 2 axes.
 	BaseSeconds  metrics.Triple `json:"base_seconds"`
 	TimerSeconds metrics.Triple `json:"timer_seconds"`
+	// TimerNsPerHierarchy is the enhancement time divided by the number
+	// of hierarchies tried — the ns/op of the TIMER hot path, directly
+	// comparable with the BenchmarkTryHierarchy microbenchmark.
+	TimerNsPerHierarchy metrics.Triple `json:"timer_ns_per_hierarchy"`
 	// StageSeconds summarizes each engine pipeline stage's wall time
 	// over the repetitions, keyed by stage name (topology, graph,
 	// partition, map, drb, enhance).
@@ -83,11 +87,23 @@ type Summary struct {
 	CaseGeoCocoQuotient map[string]float64 `json:"case_geo_coco_quotient,omitempty"`
 }
 
-// RunPerf is the machine-dependent throughput of a whole run.
+// RunPerf is the machine-dependent throughput and allocation profile of
+// a whole run. The per-job figures are process-wide deltas of the Go
+// runtime's allocation counters divided by the job count, so they track
+// the hot path's allocation behavior (the ns/op, allocs/op, bytes/op
+// columns of the perf trajectory) while concurrent overhead is shared
+// out evenly.
 type RunPerf struct {
 	WallSeconds float64 `json:"wall_seconds"`
 	JobsPerSec  float64 `json:"jobs_per_sec"`
 	Workers     int     `json:"workers"`
+	// NsPerJob is the mean wall time per job in nanoseconds; note jobs
+	// run Workers-wide, so NsPerJob ≈ wall/jobs, not CPU time.
+	NsPerJob float64 `json:"ns_per_job"`
+	// AllocsPerJob and BytesPerJob are heap allocations and allocated
+	// bytes per job (runtime.MemStats Mallocs/TotalAlloc deltas).
+	AllocsPerJob float64 `json:"allocs_per_job"`
+	BytesPerJob  float64 `json:"bytes_per_job"`
 }
 
 // Results is the machine-readable outcome of one matrix run — the

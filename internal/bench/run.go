@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/metrics"
@@ -96,6 +97,13 @@ func Run(spec Spec, opt RunOptions) (*Results, error) {
 		defer eng.Close()
 	}
 
+	// Allocation counters bracket the whole run: with the scenario graphs
+	// already generated above, the delta is dominated by the pipeline
+	// work the jobs perform, giving the allocs/op and bytes/op columns
+	// of the perf trajectory.
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
+
 	start := time.Now()
 	ids := make([]string, 0, total)
 	for _, sc := range scenarios {
@@ -136,6 +144,10 @@ func Run(spec Spec, opt RunOptions) (*Results, error) {
 	var cocoQs, cutQs []float64
 	caseQs := make(map[string][]float64)
 	failed := 0
+	nh := spec.NumHierarchies
+	if nh <= 0 {
+		nh = core.DefaultNumHierarchies // the engine's JobSpec default
+	}
 	for si, sc := range scenarios {
 		reps := make([]*engine.JobResult, 0, spec.Reps)
 		var firstErr error
@@ -160,7 +172,7 @@ func Run(spec Spec, opt RunOptions) (*Results, error) {
 			failed++
 			progress(fmt.Sprintf("FAIL %s: %v", sc.Name, firstErr))
 		} else {
-			fillScenario(&sr, reps)
+			fillScenario(&sr, reps, nh)
 			cocoQs = append(cocoQs, sr.Quality.CocoQuotient.Mean)
 			cutQs = append(cutQs, sr.Quality.CutQuotient.Mean)
 			cn := sc.Case.String()
@@ -171,6 +183,8 @@ func Run(spec Spec, opt RunOptions) (*Results, error) {
 		res.Scenarios = append(res.Scenarios, sr)
 	}
 	wall := time.Since(start).Seconds()
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
 
 	res.Summary = Summary{
 		Scenarios:       len(scenarios),
@@ -187,16 +201,20 @@ func Run(spec Spec, opt RunOptions) (*Results, error) {
 		}
 	}
 	res.Perf = &RunPerf{
-		WallSeconds: wall,
-		JobsPerSec:  float64(total) / wall,
-		Workers:     eng.Workers(),
+		WallSeconds:  wall,
+		JobsPerSec:   float64(total) / wall,
+		Workers:      eng.Workers(),
+		NsPerJob:     wall * 1e9 / float64(total),
+		AllocsPerJob: float64(memAfter.Mallocs-memBefore.Mallocs) / float64(total),
+		BytesPerJob:  float64(memAfter.TotalAlloc-memBefore.TotalAlloc) / float64(total),
 	}
 	return res, nil
 }
 
 // fillScenario aggregates the repetitions of one scenario into
-// min/mean/max triples.
-func fillScenario(sr *ScenarioResult, reps []*engine.JobResult) {
+// min/mean/max triples. nh is the effective NumHierarchies of every
+// job, the op count behind the ns/op column.
+func fillScenario(sr *ScenarioResult, reps []*engine.JobResult, nh int) {
 	first := reps[0]
 	sr.PEs, sr.GraphN, sr.GraphM = first.PEs, first.GraphN, first.GraphM
 
@@ -240,10 +258,15 @@ func fillScenario(sr *ScenarioResult, reps []*engine.JobResult) {
 	q.CutQuotient = metrics.Quotient(q.CutAfter, q.CutBefore)
 	sr.Quality = q
 
+	nsPerH := make([]float64, len(timerS))
+	for i, s := range timerS {
+		nsPerH[i] = s * 1e9 / float64(nh)
+	}
 	p := &Perf{
-		BaseSeconds:  metrics.Summarize(baseS),
-		TimerSeconds: metrics.Summarize(timerS),
-		JobSeconds:   metrics.Summarize(jobS),
+		BaseSeconds:         metrics.Summarize(baseS),
+		TimerSeconds:        metrics.Summarize(timerS),
+		TimerNsPerHierarchy: metrics.Summarize(nsPerH),
+		JobSeconds:          metrics.Summarize(jobS),
 	}
 	if len(stageS) > 0 {
 		p.StageSeconds = make(map[string]metrics.Triple, len(stageS))

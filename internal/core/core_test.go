@@ -209,18 +209,24 @@ func TestSwapPassNeverWorsens(t *testing.T) {
 			sign = 1
 		}
 		before := cocoPlusOfLabels(g, labels, lpMask, extMask)
-		byLabel := make(map[bitvec.Label]int32, n)
+		byLabel := bitvec.NewLabelIndex(n)
 		for v, l := range labels {
-			byLabel[l] = int32(v)
+			byLabel.Put(l, int32(v))
 		}
-		swapPass(g, labels, sign, byLabel)
+		swaps, gain := swapPass(g, labels, sign, byLabel)
 		after := cocoPlusOfLabels(g, labels, lpMask, extMask)
 		if after > before {
 			t.Fatalf("trial %d: swap pass worsened Coco+ %d -> %d", trial, before, after)
 		}
+		// The incrementally maintained delta must match the re-scored
+		// objective exactly.
+		if after-before != gain {
+			t.Fatalf("trial %d: incremental gain %d, recomputed %d (%d swaps)",
+				trial, gain, after-before, swaps)
+		}
 		// byLabel must stay consistent.
 		for v, l := range labels {
-			if byLabel[l] != int32(v) {
+			if got, ok := byLabel.Get(l); !ok || got != int32(v) {
 				t.Fatal("byLabel out of sync after swaps")
 			}
 		}
@@ -237,7 +243,8 @@ func TestContract(t *testing.T) {
 		AddEdge(2, 3, 7). // 10-11: intra pair 1
 		Build()
 	lv := &hlevel{g: g, labels: []bitvec.Label{0b00, 0b01, 0b10, 0b11}}
-	up := contract(lv)
+	up := &hlevel{}
+	NewScratch().contract(lv, up)
 	if up.g.N() != 2 {
 		t.Fatalf("coarse N = %d, want 2", up.g.N())
 	}
@@ -466,7 +473,7 @@ func TestRepairDuplicates(t *testing.T) {
 	g := graph.Path(4)
 	all := []bitvec.Label{0, 1, 2, 3}
 	labels := []bitvec.Label{0, 1, 1, 2} // 1 duplicated, 3 unused
-	n := repairDuplicates(g, labels, all, bitvec.Mask(1, 2), bitvec.Mask(0, 1))
+	n := repairDuplicates(g, labels, all, bitvec.Mask(1, 2), bitvec.Mask(0, 1), bitvec.NewLabelIndex(len(labels)))
 	if n != 1 {
 		t.Fatalf("repairs = %d, want 1", n)
 	}
@@ -557,7 +564,8 @@ func TestTryHierarchyPreservesLabelSetExactly(t *testing.T) {
 		split := rng.Intn(dim + 1)
 		plus, minus := bitvec.Mask(split, dim), bitvec.Mask(0, split)
 		pi := bitvec.Random(rng, dim)
-		tr := tryHierarchy(g, labels, dim, pi, plus, minus, 1)
+		coco, div := cocoAndDivOfLabels(g, labels, plus, minus)
+		tr := tryHierarchy(g, labels, dim, pi, plus, minus, 1, coco, coco-div, NewScratch())
 		if tr.repairs != 0 {
 			t.Fatalf("trial %d: %d repairs; assemble must be bijective", trial, tr.repairs)
 		}
@@ -574,6 +582,30 @@ func TestTryHierarchyPreservesLabelSetExactly(t *testing.T) {
 					trial, l.String(dim), c)
 			}
 		}
+	}
+}
+
+// TestEnhanceZeroValueScratch: a caller-supplied zero-value Scratch
+// (not from NewScratch) must work and give the same result as the
+// pooled default — the buffers self-grow on first use.
+func TestEnhanceZeroValueScratch(t *testing.T) {
+	topo, _ := topology.Grid(4, 4)
+	ga := randomGraph(128, 400, 71)
+	assign := balancedAssign(128, 16, 72)
+	a, err := Enhance(ga, topo, assign, Options{NumHierarchies: 6, Seed: 73, Scratch: &Scratch{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Enhance(ga, topo, assign, Options{NumHierarchies: 6, Seed: 73})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CocoAfter != b.CocoAfter || a.SwapsApplied != b.SwapsApplied {
+		t.Errorf("zero-value scratch diverged: Coco %d vs %d, swaps %d vs %d",
+			a.CocoAfter, b.CocoAfter, a.SwapsApplied, b.SwapsApplied)
+	}
+	if a.SwapsApplied > 0 && a.SwapGain >= 0 {
+		t.Errorf("SwapGain = %d with %d swaps applied, want < 0", a.SwapGain, a.SwapsApplied)
 	}
 }
 

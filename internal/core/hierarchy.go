@@ -8,14 +8,20 @@ import (
 // hlevel is one level of a TIMER hierarchy. Level index k (1-based) has
 // labels of width dimGa−(k−1): the k−1 least significant permuted digits
 // have been cut off by contraction. Labels are unique per level.
+//
+// All slices and the coarse-graph storage gstore are owned by the
+// enclosing Scratch and reused across hierarchies.
 type hlevel struct {
 	g      *graph.Graph
+	gstore graph.Graph // backing storage of g on contracted levels
 	labels []bitvec.Label
 	// parent maps this level's vertices to the next coarser level's
-	// vertices (nil on the topmost level).
+	// vertices (unset on the topmost level).
 	parent []int32
-	// swaps counts the label swaps applied on this level (reporting).
+	// swaps counts the label swaps applied on this level (reporting);
+	// gain accumulates their exact Coco+ deltas (all ≤ 0).
 	swaps int
+	gain  int64
 }
 
 // swapPass implements lines 10-12 of Algorithm 1 on one level: for every
@@ -29,28 +35,32 @@ type hlevel struct {
 // digit 0 to 1 changes edge {u,w}'s contribution by sign·ω(u,w)·(1−2b_w)
 // where b_w is w's last digit, and symmetrically for v. byLabel is the
 // label→vertex index of this level (updated in place on swaps).
-// It returns the number of swaps applied.
-func swapPass(g *graph.Graph, labels []bitvec.Label, sign int, byLabel map[bitvec.Label]int32) int {
+// It returns the number of swaps applied and their summed Coco+ delta,
+// so callers maintain the level objective incrementally instead of
+// re-walking all edges.
+func swapPass(g *graph.Graph, labels []bitvec.Label, sign int, byLabel *bitvec.LabelIndex) (int, int64) {
 	swaps := 0
+	var gain int64
 	n := g.N()
 	for u := 0; u < n; u++ {
 		lu := labels[u]
 		if lu&1 != 0 {
 			continue // visit each pair from its even member
 		}
-		v32, ok := byLabel[lu^1]
+		v32, ok := byLabel.Get(lu ^ 1)
 		if !ok {
 			continue // no sibling
 		}
 		v := int(v32)
 		if delta := siblingSwapDelta(g, labels, u, v, sign); delta < 0 {
 			labels[u], labels[v] = labels[v], labels[u]
-			byLabel[labels[u]] = int32(u)
-			byLabel[labels[v]] = int32(v)
+			byLabel.Put(labels[u], int32(u))
+			byLabel.Put(labels[v], int32(v))
 			swaps++
+			gain += delta
 		}
 	}
-	return swaps
+	return swaps, gain
 }
 
 // siblingSwapDelta computes the exact Coco+ change from swapping the
@@ -82,25 +92,24 @@ func siblingSwapDelta(g *graph.Graph, labels []bitvec.Label, u, v, sign int) int
 
 // contract implements the contract(·,·,·) of Algorithm 1: vertices whose
 // labels agree on all but the last digit merge; every label loses its
-// last digit; the parent vector records the hierarchy.
-func contract(lv *hlevel) *hlevel {
+// last digit; the parent vector records the hierarchy. The coarse graph
+// and labels are built into next's reusable storage.
+func (sc *Scratch) contract(lv, next *hlevel) {
 	n := lv.g.N()
-	coarseID := make(map[bitvec.Label]int32, n)
-	parent := make([]int32, n)
-	var coarseLabels []bitvec.Label
+	sc.byLabel.Reset(n)
+	lv.parent = graph.Resize(lv.parent, n)
+	next.labels = next.labels[:0]
 	for v := 0; v < n; v++ {
 		pref := lv.labels[v] >> 1
-		id, ok := coarseID[pref]
-		if !ok {
-			id = int32(len(coarseLabels))
-			coarseID[pref] = id
-			coarseLabels = append(coarseLabels, pref)
+		id, existed := sc.byLabel.PutIfAbsent(pref, int32(len(next.labels)))
+		if !existed {
+			next.labels = append(next.labels, pref)
 		}
-		parent[v] = id
+		lv.parent[v] = id
 	}
-	lv.parent = parent
-	cg := lv.g.ContractPairs(parent, len(coarseLabels))
-	return &hlevel{g: cg, labels: coarseLabels}
+	sc.contractor.ContractInto(&next.gstore, lv.g, lv.parent, len(next.labels))
+	next.g = &next.gstore
+	next.swaps, next.gain = 0, 0
 }
 
 // suffixTrie is a counting trie over the label set L, keyed by least
@@ -110,18 +119,17 @@ func contract(lv *hlevel) *hlevel {
 // viable only while an unclaimed label with the resulting suffix
 // remains, which makes assemble() a bijection onto L by construction
 // (every vertex claims exactly one label and claims are decremented
-// along the walk).
+// along the walk). The node arrays are retained across build calls, so
+// a warm trie rebuilds without allocating.
 type suffixTrie struct {
 	child [][2]int32
 	count []int32
 }
 
-func newSuffixTrie(labels []bitvec.Label, dim int) *suffixTrie {
-	t := &suffixTrie{
-		child: make([][2]int32, 1, 2*len(labels)),
-		count: make([]int32, 1, 2*len(labels)),
-	}
-	t.child[0] = [2]int32{-1, -1}
+// build (re)initializes the trie over labels of the given width.
+func (t *suffixTrie) build(labels []bitvec.Label, dim int) {
+	t.child = append(t.child[:0], [2]int32{-1, -1})
+	t.count = append(t.count[:0], 0)
 	for _, l := range labels {
 		cur := int32(0)
 		t.count[0]++
@@ -138,6 +146,11 @@ func newSuffixTrie(labels []bitvec.Label, dim int) *suffixTrie {
 			t.count[cur]++
 		}
 	}
+}
+
+func newSuffixTrie(labels []bitvec.Label, dim int) *suffixTrie {
+	t := &suffixTrie{}
+	t.build(labels, dim)
 	return t
 }
 
@@ -163,32 +176,40 @@ func (t *suffixTrie) claim(path []int32) {
 // buildHierarchy runs the inner loop of Algorithm 1 (lines 8-14) in the
 // permuted label space: alternating swap passes and contractions, from
 // the full labels down to width-2 labels (or earlier if the graph
-// degenerates to a single vertex). signs[j] is the Coco+ sign of
-// permuted digit j. Returns all levels, finest first.
-func buildHierarchy(ga *graph.Graph, permLabels []bitvec.Label, dimGa int, signs []int8, swapRounds int) []*hlevel {
+// degenerates to a single vertex). The level-0 labels are initialized
+// from sc.perm; signs[j] is the Coco+ sign of permuted digit j. Levels
+// land in sc.levels[:sc.nlev], finest first.
+func (sc *Scratch) buildHierarchy(ga *graph.Graph, dimGa int, signs []int8, swapRounds int) {
 	if swapRounds < 1 {
 		swapRounds = 1
 	}
-	levels := []*hlevel{{g: ga, labels: permLabels}}
+	lv0 := sc.level(0)
+	lv0.g = ga
+	lv0.labels = graph.Resize(lv0.labels, len(sc.perm))
+	copy(lv0.labels, sc.perm)
+	lv0.swaps, lv0.gain = 0, 0
+	sc.nlev = 1
 	for k := 1; k <= dimGa-2; k++ {
-		cur := levels[len(levels)-1]
+		cur := sc.level(sc.nlev - 1)
 		if cur.g.N() <= 1 {
 			break
 		}
-		byLabel := make(map[bitvec.Label]int32, cur.g.N())
+		sc.byLabel.Reset(cur.g.N())
 		for v, l := range cur.labels {
-			byLabel[l] = int32(v)
+			sc.byLabel.Put(l, int32(v))
 		}
 		for round := 0; round < swapRounds; round++ {
-			s := swapPass(cur.g, cur.labels, int(signs[k-1]), byLabel)
+			s, d := swapPass(cur.g, cur.labels, int(signs[k-1]), &sc.byLabel)
 			cur.swaps += s
+			cur.gain += d
 			if s == 0 {
 				break
 			}
 		}
-		levels = append(levels, contract(cur))
+		next := sc.level(sc.nlev)
+		sc.contract(sc.level(sc.nlev-1), next)
+		sc.nlev++
 	}
-	return levels
 }
 
 // assemble implements Algorithm 2: derive a new fine labeling from the
@@ -197,13 +218,12 @@ func buildHierarchy(ga *graph.Graph, permLabels []bitvec.Label, dimGa int, signs
 // digits when the partial label stays inside the original label set L
 // (tracked with the suffix trie), otherwise inverted; remaining digits
 // follow the topmost ancestor's surviving label. The trie guarantees
-// every emitted label belongs to L.
-func assemble(levels []*hlevel, dimGa int, trie *suffixTrie) []bitvec.Label {
-	fine := levels[0]
+// every emitted label belongs to L. The result lands in out (len = n);
+// path is walk scratch with capacity ≥ dimGa.
+func assemble(levels []hlevel, dimGa int, trie *suffixTrie, out []bitvec.Label, path []int32) {
+	fine := &levels[0]
 	n := fine.g.N()
-	out := make([]bitvec.Label, n)
 	K := len(levels)
-	path := make([]int32, 0, dimGa)
 	for v := 0; v < n; v++ {
 		path = path[:0]
 		lab := fine.labels[v]
@@ -248,7 +268,6 @@ func assemble(levels []*hlevel, dimGa int, trie *suffixTrie) []bitvec.Label {
 		trie.claim(path)
 		out[v] = newLabel
 	}
-	return out
 }
 
 // repairDuplicates restores bijectivity onto the label set L when
@@ -256,16 +275,15 @@ func assemble(levels []*hlevel, dimGa int, trie *suffixTrie) []bitvec.Label {
 // uses the fixed set L, see DESIGN.md): duplicate holders beyond the
 // first keep-holder are reassigned to the unused labels, choosing for
 // each orphan the free label minimizing its local Coco+ contribution.
-// Returns the number of repaired vertices (0 in the common case).
+// owner is the caller's reusable label index. Returns the number of
+// repaired vertices (0 in the common case).
 func repairDuplicates(g *graph.Graph, labels []bitvec.Label, all []bitvec.Label,
-	lpMask, extMask uint64) int {
-	owner := make(map[bitvec.Label]int32, len(labels))
+	lpMask, extMask uint64, owner *bitvec.LabelIndex) int {
+	owner.Reset(len(labels))
 	var orphans []int32
 	for v, l := range labels {
-		if _, dup := owner[l]; dup {
+		if _, dup := owner.PutIfAbsent(l, int32(v)); dup {
 			orphans = append(orphans, int32(v))
-		} else {
-			owner[l] = int32(v)
 		}
 	}
 	if len(orphans) == 0 {
@@ -273,7 +291,7 @@ func repairDuplicates(g *graph.Graph, labels []bitvec.Label, all []bitvec.Label,
 	}
 	var free []bitvec.Label
 	for _, l := range all {
-		if _, used := owner[l]; !used {
+		if _, used := owner.Get(l); !used {
 			free = append(free, l)
 		}
 	}
@@ -291,7 +309,6 @@ func repairDuplicates(g *graph.Graph, labels []bitvec.Label, all []bitvec.Label,
 			}
 		}
 		labels[v] = free[bestI]
-		owner[free[bestI]] = v
 		free[bestI] = free[len(free)-1]
 		free = free[:len(free)-1]
 	}

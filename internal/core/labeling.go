@@ -131,15 +131,14 @@ func (l *Labeling) CocoPlus() int64 {
 // Validate checks that the labels are unique, that every lp part matches
 // a PE, and that the extension digits stay below the extension width.
 func (l *Labeling) Validate() error {
-	seen := make(map[bitvec.Label]int, len(l.Labels))
+	seen := bitvec.NewLabelIndex(len(l.Labels))
 	for v, lab := range l.Labels {
 		if uint64(lab)>>uint(l.DimGa) != 0 {
 			return fmt.Errorf("core: label of %d uses digits beyond dimGa=%d", v, l.DimGa)
 		}
-		if prev, dup := seen[lab]; dup {
+		if prev, dup := seen.PutIfAbsent(lab, int32(v)); dup {
 			return fmt.Errorf("core: vertices %d and %d share label %s", prev, v, lab.String(l.DimGa))
 		}
-		seen[lab] = v
 		if l.Topo.PEOf(lab>>uint(l.Ext)) < 0 {
 			return fmt.Errorf("core: vertex %d has lp part matching no PE", v)
 		}
@@ -173,4 +172,23 @@ func cocoPlusOfLabels(g *graph.Graph, labels []bitvec.Label, lpMask, extMask uin
 		}
 	}
 	return total
+}
+
+// cocoAndDivOfLabels walks the edges once and returns both restricted
+// objectives: plus = Σ ω·h(plusMask digits) and minus = Σ ω·h(minusMask
+// digits), so Coco (= plus, the masks being LpMask/ExtMask) and
+// Coco+ (= plus − minus) come out of a single O(m) pass.
+func cocoAndDivOfLabels(g *graph.Graph, labels []bitvec.Label, plusMask, minusMask uint64) (plus, minus int64) {
+	for v := 0; v < g.N(); v++ {
+		lv := labels[v]
+		nbr, ew := g.Neighbors(v)
+		for i, u := range nbr {
+			if int(u) > v {
+				x := uint64(lv ^ labels[u])
+				plus += ew[i] * int64(bits.OnesCount64(x&plusMask))
+				minus += ew[i] * int64(bits.OnesCount64(x&minusMask))
+			}
+		}
+	}
+	return plus, minus
 }

@@ -10,6 +10,12 @@ import (
 	"repro/internal/topology"
 )
 
+// DefaultNumHierarchies is the paper's NH default (Section 7). Every
+// layer that defaults the hierarchy count — core.Options,
+// engine.JobSpec, the bench harness's ns/op arithmetic — shares this
+// constant so they cannot drift apart.
+const DefaultNumHierarchies = 50
+
 // Options configures a TIMER run (procedure TIMER of Algorithm 1).
 type Options struct {
 	// NumHierarchies is NH, the number of random label-permutation
@@ -42,11 +48,18 @@ type Options struct {
 	// "standard and simple" local search with something stronger; extra
 	// rounds are the cheapest such strengthening.
 	SwapRounds int
+
+	// Scratch, when non-nil, supplies the reusable hot-path buffers of
+	// this run; engine workers keep one per worker goroutine so
+	// back-to-back jobs share warm arenas. When nil, Enhance borrows a
+	// Scratch from a package pool. The same Scratch must never be used
+	// by two Enhance calls concurrently.
+	Scratch *Scratch
 }
 
 func (o Options) withDefaults() Options {
 	if o.NumHierarchies <= 0 {
-		o.NumHierarchies = 50
+		o.NumHierarchies = DefaultNumHierarchies
 	}
 	if o.Workers <= 0 {
 		o.Workers = 1
@@ -71,6 +84,11 @@ type Result struct {
 	HierarchiesKept int
 	// SwapsApplied counts label swaps across all kept hierarchies.
 	SwapsApplied int
+	// SwapGain is the summed exact Coco+ delta of those swaps, as
+	// maintained incrementally by the swap passes (always ≤ 0). It
+	// measures how much of the enhancement the local search itself
+	// contributed, versus the hierarchy reassembly.
+	SwapGain int64
 	// Repairs counts assemble() bijectivity repairs (diagnostic; the
 	// counting trie makes assemble bijective, so this stays 0 unless the
 	// safety net is exercised by a future change).
@@ -94,10 +112,15 @@ func Enhance(ga *graph.Graph, topo *topology.Topology, assign []int32, opt Optio
 		CocoPlusBefore: lab.CocoPlus(),
 	}
 	if lab.DimGa >= 2 && ga.N() > 1 {
+		sc := opt.Scratch
+		if sc == nil {
+			sc = getScratch()
+			defer putScratch(sc)
+		}
 		if opt.Workers > 1 {
-			runHierarchiesParallel(lab, opt, rng, res)
+			runHierarchiesParallel(lab, opt, rng, res, sc)
 		} else {
-			runHierarchies(lab, opt, rng, res)
+			runHierarchies(lab, opt, rng, res, sc)
 		}
 	}
 	res.CocoAfter = lab.Coco()
@@ -132,51 +155,86 @@ func pickPermutation(h, dimGa int, opt Options, rng *rand.Rand) bitvec.Permutati
 
 // trial is the outcome of building and assembling one hierarchy.
 type trial struct {
-	labels   []bitvec.Label
-	cocoPlus int64
-	swaps    int
+	// labels aliases the Scratch's candidate buffer and is only valid
+	// until that Scratch starts its next hierarchy; acceptance copies it
+	// out immediately.
+	labels []bitvec.Label
+	// coco and cocoPlus are scored in one shared edge walk; the plain
+	// Coco rides along so acceptance needs no second O(m) pass.
+	coco, cocoPlus int64
+	swaps          int
+	// swapGain is the summed incremental Coco+ delta of the applied
+	// sibling swaps across all hierarchy levels (always ≤ 0).
+	swapGain int64
 	repairs  int
 }
 
 // tryHierarchy executes one iteration of Algorithm 1's outer loop (lines
 // 5-16) from the given base labels: permute, build the swap/contract
 // hierarchy, assemble, un-permute. It does not decide acceptance.
+// baseCoco and baseCocoPlus are the objectives of base: a hierarchy on
+// which no swap fired reproduces base exactly (assemble then walks every
+// vertex's own unchanged label through the trie), so its assembly,
+// un-permutation and O(m) rescoring are skipped wholesale.
 func tryHierarchy(ga *graph.Graph, base []bitvec.Label, dimGa int,
-	pi bitvec.Permutation, plusMask, minusMask uint64, swapRounds int) trial {
-	permLabels := make([]bitvec.Label, len(base))
+	pi bitvec.Permutation, plusMask, minusMask uint64, swapRounds int,
+	baseCoco, baseCocoPlus int64, sc *Scratch) trial {
+	n := len(base)
+	sc.fwd.CompileInto(pi)
+	sc.perm = graph.Resize(sc.perm, n)
 	for v, l := range base {
-		permLabels[v] = pi.Apply(l)
+		sc.perm[v] = sc.fwd.Apply(l)
 	}
-	signs := make([]int8, dimGa)
+	// A zero-value Scratch (not from NewScratch) grows these here.
+	if cap(sc.signs) < dimGa {
+		sc.signs = make([]int8, 0, bitvec.MaxDim)
+	}
+	if cap(sc.path) < dimGa {
+		sc.path = make([]int32, 0, bitvec.MaxDim)
+	}
+	sc.signs = sc.signs[:dimGa]
 	for j := 0; j < dimGa; j++ {
 		bit := uint64(1) << uint(pi[j])
 		switch {
 		case bit&plusMask != 0:
-			signs[j] = 1
+			sc.signs[j] = 1
 		case bit&minusMask != 0:
-			signs[j] = -1
+			sc.signs[j] = -1
 		default:
-			signs[j] = 0 // ablated digit: swaps there can never gain
+			sc.signs[j] = 0 // ablated digit: swaps there can never gain
 		}
 	}
-	trie := newSuffixTrie(permLabels, dimGa)
 
-	work := append([]bitvec.Label(nil), permLabels...)
-	levels := buildHierarchy(ga, work, dimGa, signs, swapRounds)
-	swaps := countSwaps(levels)
-
-	newPerm := assemble(levels, dimGa, trie)
-
-	inv := pi.Inverse()
-	candidate := make([]bitvec.Label, len(base))
-	for v, l := range newPerm {
-		candidate[v] = inv.Apply(l)
+	sc.buildHierarchy(ga, dimGa, sc.signs, swapRounds)
+	swaps := 0
+	var gain int64
+	for k := 0; k < sc.nlev; k++ {
+		swaps += sc.levels[k].swaps
+		gain += sc.levels[k].gain
 	}
-	repairs := repairDuplicates(ga, candidate, base, plusMask, minusMask)
+
+	sc.cand = graph.Resize(sc.cand, n)
+	if swaps == 0 {
+		copy(sc.cand, base)
+		return trial{labels: sc.cand, coco: baseCoco, cocoPlus: baseCocoPlus}
+	}
+
+	sc.trie.build(sc.perm, dimGa)
+	sc.assembled = graph.Resize(sc.assembled, n)
+	assemble(sc.levels[:sc.nlev], dimGa, &sc.trie, sc.assembled, sc.path)
+
+	sc.inv.CompileInverseInto(pi)
+	for v, l := range sc.assembled {
+		sc.cand[v] = sc.inv.Apply(l)
+	}
+	repairs := repairDuplicates(ga, sc.cand, base, plusMask, minusMask, &sc.repairIx)
+	coco, div := cocoAndDivOfLabels(ga, sc.cand, plusMask, minusMask)
 	return trial{
-		labels:   candidate,
-		cocoPlus: cocoPlusOfLabels(ga, candidate, plusMask, minusMask),
+		labels:   sc.cand,
+		coco:     coco,
+		cocoPlus: coco - div,
 		swaps:    swaps,
+		swapGain: gain,
 		repairs:  repairs,
 	}
 }
@@ -191,26 +249,30 @@ func tryHierarchy(ga *graph.Graph, base []bitvec.Label, dimGa int,
 // an enhancer whose output is measured in Coco, tracking the best
 // accepted Coco state guarantees the enhancement property without
 // changing the search trajectory.
-func runHierarchies(lab *Labeling, opt Options, rng *rand.Rand, res *Result) {
+func runHierarchies(lab *Labeling, opt Options, rng *rand.Rand, res *Result, sc *Scratch) {
 	ga := lab.Ga
 	dimGa := lab.DimGa
 	plusMask, minusMask := objectiveMasks(lab, opt)
-	bestCocoPlus := cocoPlusOfLabels(ga, lab.Labels, plusMask, minusMask)
-	bestCoco := lab.Coco()
+	curCoco, curDiv := cocoAndDivOfLabels(ga, lab.Labels, plusMask, minusMask)
+	bestCocoPlus := curCoco - curDiv
+	bestCoco := curCoco
 	bestCocoLabels := append([]bitvec.Label(nil), lab.Labels...)
 
 	for h := 0; h < opt.NumHierarchies; h++ {
 		pi := pickPermutation(h, dimGa, opt, rng)
-		t := tryHierarchy(ga, lab.Labels, dimGa, pi, plusMask, minusMask, opt.SwapRounds)
+		t := tryHierarchy(ga, lab.Labels, dimGa, pi, plusMask, minusMask, opt.SwapRounds,
+			curCoco, bestCocoPlus, sc)
 		// Lines 17-19: keep only if Coco+ did not get worse.
 		if t.cocoPlus <= bestCocoPlus {
 			copy(lab.Labels, t.labels)
 			bestCocoPlus = t.cocoPlus
+			curCoco = t.coco
 			res.HierarchiesKept++
 			res.SwapsApplied += t.swaps
+			res.SwapGain += t.swapGain
 			res.Repairs += t.repairs
-			if coco := cocoOfLabels(ga, t.labels, lab.LpMask()); coco < bestCoco {
-				bestCoco = coco
+			if t.coco < bestCoco {
+				bestCoco = t.coco
 				copy(bestCocoLabels, t.labels)
 			}
 		}
@@ -223,13 +285,23 @@ func runHierarchies(lab *Labeling, opt Options, rng *rand.Rand, res *Result) {
 // opt.Workers: all hierarchies of a batch start from the same labeling;
 // the best improving candidate (ties broken by batch index, keeping the
 // result deterministic) is accepted before the next batch starts.
-func runHierarchiesParallel(lab *Labeling, opt Options, rng *rand.Rand, res *Result) {
+func runHierarchiesParallel(lab *Labeling, opt Options, rng *rand.Rand, res *Result, sc *Scratch) {
 	ga := lab.Ga
 	dimGa := lab.DimGa
 	plusMask, minusMask := objectiveMasks(lab, opt)
-	bestCocoPlus := cocoPlusOfLabels(ga, lab.Labels, plusMask, minusMask)
-	bestCoco := lab.Coco()
+	curCoco, curDiv := cocoAndDivOfLabels(ga, lab.Labels, plusMask, minusMask)
+	bestCocoPlus := curCoco - curDiv
+	bestCoco := curCoco
 	bestCocoLabels := append([]bitvec.Label(nil), lab.Labels...)
+
+	// One scratch per concurrent slot, reused across batches; slot 0 is
+	// the caller's.
+	scs := make([]*Scratch, opt.Workers)
+	scs[0] = sc
+	for i := 1; i < len(scs); i++ {
+		scs[i] = getScratch()
+		defer putScratch(scs[i])
+	}
 
 	remaining := opt.NumHierarchies
 	h := 0
@@ -250,7 +322,8 @@ func runHierarchiesParallel(lab *Labeling, opt Options, rng *rand.Rand, res *Res
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				trials[i] = tryHierarchy(ga, lab.Labels, dimGa, pis[i], plusMask, minusMask, opt.SwapRounds)
+				trials[i] = tryHierarchy(ga, lab.Labels, dimGa, pis[i], plusMask, minusMask,
+					opt.SwapRounds, curCoco, bestCocoPlus, scs[i])
 			}(i)
 		}
 		wg.Wait()
@@ -264,11 +337,13 @@ func runHierarchiesParallel(lab *Labeling, opt Options, rng *rand.Rand, res *Res
 			t := &trials[bestI]
 			copy(lab.Labels, t.labels)
 			bestCocoPlus = t.cocoPlus
+			curCoco = t.coco
 			res.HierarchiesKept++
 			res.SwapsApplied += t.swaps
+			res.SwapGain += t.swapGain
 			res.Repairs += t.repairs
-			if coco := cocoOfLabels(ga, t.labels, lab.LpMask()); coco < bestCoco {
-				bestCoco = coco
+			if t.coco < bestCoco {
+				bestCoco = t.coco
 				copy(bestCocoLabels, t.labels)
 			}
 		}
@@ -276,16 +351,6 @@ func runHierarchiesParallel(lab *Labeling, opt Options, rng *rand.Rand, res *Res
 		h += batch
 	}
 	copy(lab.Labels, bestCocoLabels)
-}
-
-// countSwaps re-derives the number of swaps performed while building the
-// hierarchy (stored on the levels for reporting).
-func countSwaps(levels []*hlevel) int {
-	total := 0
-	for _, lv := range levels {
-		total += lv.swaps
-	}
-	return total
 }
 
 // EnhanceMapping is a convenience wrapper returning only the enhanced

@@ -23,8 +23,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/topology"
 )
 
@@ -95,6 +97,8 @@ type Engine struct {
 	closed  bool
 	pending chan *jobRecord
 	wg      sync.WaitGroup
+
+	served atomic.Int64 // jobs finished (done or failed) since New
 }
 
 // New creates an engine and starts its worker pool.
@@ -241,24 +245,59 @@ func (e *Engine) Jobs() []Job {
 // cache). The job is not registered in the engine's job table. Per-stage
 // timings are in the result's Stages field.
 func (e *Engine) Run(spec JobSpec) (*JobResult, error) {
-	return runPipeline(spec, e.cache.Get, nil)
+	return runPipeline(spec, e.cache.Get, nil, nil)
+}
+
+// Stats is a point-in-time snapshot of the engine's pool state, served
+// by mapd's GET /v1/stats.
+type Stats struct {
+	// Workers is the worker-pool size; QueueDepth/QueueCap describe the
+	// pending-job queue.
+	Workers    int `json:"workers"`
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
+	// JobsServed counts jobs finished (done or failed) since the engine
+	// started; JobsRetained is the number of job records currently held
+	// for status reporting (bounded by RetainJobs).
+	JobsServed   int64 `json:"jobs_served"`
+	JobsRetained int   `json:"jobs_retained"`
+	RetainCap    int   `json:"retain_cap"`
+}
+
+// Stats returns the engine's pool statistics.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	retained := len(e.jobs)
+	e.mu.Unlock()
+	return Stats{
+		Workers:      e.opt.Workers,
+		QueueDepth:   len(e.pending),
+		QueueCap:     e.opt.QueueCap,
+		JobsServed:   e.served.Load(),
+		JobsRetained: retained,
+		RetainCap:    e.opt.RetainJobs,
+	}
 }
 
 func (e *Engine) worker() {
 	defer e.wg.Done()
+	// Each worker owns one TIMER scratch arena: back-to-back jobs reuse
+	// the same warm buffers, so the enhancement hot path stops touching
+	// the heap once the worker has seen its largest job.
+	sc := core.NewScratch()
 	for rec := range e.pending {
-		e.execute(rec)
+		e.execute(rec, sc)
 	}
 }
 
-func (e *Engine) execute(rec *jobRecord) {
+func (e *Engine) execute(rec *jobRecord, sc *core.Scratch) {
 	rec.mu.Lock()
 	rec.job.Status = StatusRunning
 	rec.job.Started = time.Now()
 	spec := rec.job.Spec
 	rec.mu.Unlock()
 
-	res, err := e.runGuarded(spec, rec)
+	res, err := e.runGuarded(spec, rec, sc)
 
 	rec.mu.Lock()
 	rec.job.Stage = ""
@@ -277,6 +316,10 @@ func (e *Engine) execute(rec *jobRecord) {
 	rec.job.Spec.Graph.Edges = nil
 	rec.job.Spec.Graph.G = nil
 	rec.job.Spec.Topo = nil
+	// Count the job served before its done channel closes: a client that
+	// observed the job finished must never read a stats snapshot that
+	// has not counted it yet.
+	e.served.Add(1)
 	rec.mu.Unlock()
 	close(rec.done)
 }
@@ -284,7 +327,7 @@ func (e *Engine) execute(rec *jobRecord) {
 // runGuarded runs the pipeline and converts panics into job failures: a
 // malformed job must never take the worker (and with it the whole
 // service) down.
-func (e *Engine) runGuarded(spec JobSpec, rec *jobRecord) (res *JobResult, err error) {
+func (e *Engine) runGuarded(spec JobSpec, rec *jobRecord, sc *core.Scratch) (res *JobResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, fmt.Errorf("engine: job panicked: %v", r)
@@ -298,5 +341,5 @@ func (e *Engine) runGuarded(spec JobSpec, rec *jobRecord) (res *JobResult, err e
 			rec.job.Stages = append(rec.job.Stages, Stage{Name: name, Seconds: seconds})
 		}
 		rec.mu.Unlock()
-	})
+	}, sc)
 }

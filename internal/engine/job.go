@@ -225,7 +225,7 @@ func (s JobSpec) withDefaults() JobSpec {
 		s.Seed = 1
 	}
 	if s.NumHierarchies <= 0 {
-		s.NumHierarchies = 50
+		s.NumHierarchies = core.DefaultNumHierarchies
 	}
 	return s
 }
@@ -309,9 +309,10 @@ type Job struct {
 // runPipeline executes the partition → initial mapping → TIMER pipeline
 // of one job. resolve supplies the topology (cache-backed for engine
 // jobs); stage is called before each step begins and receives the
-// step's duration after it ends, so callers can stream progress.
+// step's duration after it ends, so callers can stream progress. sc,
+// when non-nil, is the calling worker's reusable TIMER scratch arena.
 func runPipeline(spec JobSpec, resolve func(string) (*topology.Topology, error),
-	stage func(name string, seconds float64)) (*JobResult, error) {
+	stage func(name string, seconds float64), sc *core.Scratch) (*JobResult, error) {
 	spec = spec.withDefaults()
 	if stage == nil {
 		stage = func(string, float64) {}
@@ -434,6 +435,7 @@ func runPipeline(spec JobSpec, resolve func(string) (*topology.Topology, error),
 			Seed:           spec.Seed,
 			Workers:        spec.TimerWorkers,
 			SwapRounds:     spec.SwapRounds,
+			Scratch:        sc,
 		})
 		if err != nil {
 			return err

@@ -1,0 +1,119 @@
+package graph
+
+import "fmt"
+
+// Contractor contracts graphs into reusable CSR storage. It exists for
+// hot loops that repeatedly coarsen and discard graphs — TIMER builds
+// NumHierarchies × (dimGa−2) coarse graphs per enhancement — where
+// Quotient's map-and-Builder construction dominates the allocation
+// profile. A warm Contractor contracts without allocating: all scratch
+// arrays and the destination graph's CSR slices are grown once and
+// reused.
+//
+// The destination Graph produced by ContractInto aliases storage owned
+// by the caller-provided value and is overwritten by the next
+// ContractInto into the same destination; it must not be retained
+// beyond that. A Contractor is not safe for concurrent use.
+type Contractor struct {
+	seen   []int32 // coarse id -> cv+1 when already adjacent to cv
+	pos    []int32 // coarse id -> accumulating slot in dst.ew
+	mstart []int32 // coarse id -> member range start (counting sort)
+	mlist  []int32 // members grouped by coarse id
+}
+
+// Resize returns s with length n, reusing its backing array when it is
+// large enough; contents are unspecified. It is the one grow-in-place
+// helper shared by the allocation-free hot paths (Contractor here,
+// core's Scratch arenas).
+func Resize[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// ContractInto contracts g according to coarse (fine vertex -> coarse
+// vertex id in [0, nCoarse)) into dst, summing vertex weights and
+// aggregating edge weights; intra-group edges vanish. It computes the
+// same graph as ContractPairs (up to adjacency order) without building
+// an intermediate edge map.
+func (c *Contractor) ContractInto(dst *Graph, g *Graph, coarse []int32, nCoarse int) {
+	n := g.N()
+	if len(coarse) != n {
+		panic(fmt.Sprintf("graph: coarse length %d, want %d", len(coarse), n))
+	}
+
+	dst.vw = Resize(dst.vw, nCoarse)
+	clear(dst.vw)
+	c.mstart = Resize(c.mstart, nCoarse+1)
+	clear(c.mstart)
+	for v := 0; v < n; v++ {
+		cv := coarse[v]
+		if cv < 0 || int(cv) >= nCoarse {
+			panic(fmt.Sprintf("graph: coarse id %d of vertex %d out of range [0,%d)", cv, v, nCoarse))
+		}
+		dst.vw[cv] += g.vw[v]
+		c.mstart[cv+1]++
+	}
+	for cv := 0; cv < nCoarse; cv++ {
+		c.mstart[cv+1] += c.mstart[cv]
+	}
+	c.mlist = Resize(c.mlist, n)
+	fill := c.mstart // reuse as write cursors; restored by construction below
+	for v := 0; v < n; v++ {
+		cv := coarse[v]
+		c.mlist[fill[cv]] = int32(v)
+		fill[cv]++
+	}
+	// fill[cv] now equals the original mstart[cv+1]: member range of cv
+	// is [prevEnd, fill[cv]) where prevEnd is fill[cv-1] (0 for cv = 0).
+
+	c.seen = Resize(c.seen, nCoarse)
+	clear(c.seen)
+	c.pos = Resize(c.pos, nCoarse)
+
+	dst.xadj = Resize(dst.xadj, nCoarse+1)
+	dst.adj = Resize(dst.adj, len(g.adj))
+	dst.ew = Resize(dst.ew, len(g.ew))
+
+	cur := int32(0)
+	memberLo := int32(0)
+	for cv := 0; cv < nCoarse; cv++ {
+		dst.xadj[cv] = cur
+		memberHi := fill[cv]
+		for _, v := range c.mlist[memberLo:memberHi] {
+			lo, hi := g.xadj[v], g.xadj[v+1]
+			for i := lo; i < hi; i++ {
+				cu := coarse[g.adj[i]]
+				if int(cu) == cv {
+					continue
+				}
+				if c.seen[cu] == int32(cv)+1 {
+					dst.ew[c.pos[cu]] += g.ew[i]
+				} else {
+					c.seen[cu] = int32(cv) + 1
+					c.pos[cu] = cur
+					dst.adj[cur] = cu
+					dst.ew[cur] = g.ew[i]
+					cur++
+				}
+			}
+		}
+		memberLo = memberHi
+	}
+	dst.xadj[nCoarse] = cur
+	dst.adj = dst.adj[:cur]
+	dst.ew = dst.ew[:cur]
+	dst.m = int(cur) / 2
+
+	dst.tvw = g.tvw // vertex weights are only regrouped, never changed
+	var tew int64
+	for cv := 0; cv < nCoarse; cv++ {
+		for i := dst.xadj[cv]; i < dst.xadj[cv+1]; i++ {
+			if int(dst.adj[i]) > cv {
+				tew += dst.ew[i]
+			}
+		}
+	}
+	dst.tew = tew
+}

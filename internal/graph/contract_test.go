@@ -1,0 +1,115 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomTestGraph(n, extra int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(v, rng.Intn(v), int64(1+rng.Intn(9)))
+	}
+	for i := 0; i < extra; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			b.AddEdge(u, v, int64(1+rng.Intn(9)))
+		}
+	}
+	return b.Build()
+}
+
+// TestContractorMatchesQuotient checks the reusable-storage contraction
+// against the map-based Quotient on random graphs and groupings: same
+// vertex weights, same aggregated edge weights, same totals.
+func TestContractorMatchesQuotient(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var c Contractor
+	var dst Graph
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(200)
+		g := randomTestGraph(n, 2*n, rng.Int63())
+		// Random grouping with every coarse id hit at least once, as in
+		// hierarchy contraction (ids assigned first-come in vertex order).
+		nCoarse := 1 + rng.Intn(n)
+		coarse := make([]int32, n)
+		for v := range coarse {
+			if v < nCoarse {
+				coarse[v] = int32(v)
+			} else {
+				coarse[v] = int32(rng.Intn(nCoarse))
+			}
+		}
+		want := g.Quotient(coarse, nCoarse)
+		c.ContractInto(&dst, g, coarse, nCoarse)
+		if err := dst.Validate(); err != nil {
+			t.Fatalf("trial %d: contracted graph invalid: %v", trial, err)
+		}
+		if dst.N() != want.N() || dst.M() != want.M() {
+			t.Fatalf("trial %d: got n=%d m=%d, want n=%d m=%d", trial, dst.N(), dst.M(), want.N(), want.M())
+		}
+		if dst.TotalVertexWeight() != want.TotalVertexWeight() || dst.TotalEdgeWeight() != want.TotalEdgeWeight() {
+			t.Fatalf("trial %d: totals differ: tvw %d/%d tew %d/%d", trial,
+				dst.TotalVertexWeight(), want.TotalVertexWeight(), dst.TotalEdgeWeight(), want.TotalEdgeWeight())
+		}
+		for v := 0; v < nCoarse; v++ {
+			if dst.VertexWeight(v) != want.VertexWeight(v) {
+				t.Fatalf("trial %d: vertex %d weight %d, want %d", trial, v, dst.VertexWeight(v), want.VertexWeight(v))
+			}
+			nbr, ew := want.Neighbors(v)
+			for i, u := range nbr {
+				if got := dst.EdgeWeight(v, int(u)); got != ew[i] {
+					t.Fatalf("trial %d: edge {%d,%d} weight %d, want %d", trial, v, u, got, ew[i])
+				}
+			}
+		}
+	}
+}
+
+// TestContractorWarmZeroAllocs: contracting into warm storage must not
+// allocate — this is what keeps the TIMER hierarchy allocation-free.
+func TestContractorWarmZeroAllocs(t *testing.T) {
+	g := randomTestGraph(512, 1024, 7)
+	coarse := make([]int32, g.N())
+	for v := range coarse {
+		coarse[v] = int32(v / 2)
+	}
+	var c Contractor
+	var dst Graph
+	c.ContractInto(&dst, g, coarse, g.N()/2)
+	allocs := testing.AllocsPerRun(10, func() {
+		c.ContractInto(&dst, g, coarse, g.N()/2)
+	})
+	if allocs != 0 {
+		t.Errorf("warm ContractInto allocates %.1f times, want 0", allocs)
+	}
+}
+
+func BenchmarkQuotient(b *testing.B) {
+	g := randomTestGraph(2048, 4096, 9)
+	coarse := make([]int32, g.N())
+	for v := range coarse {
+		coarse[v] = int32(v / 2)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Quotient(coarse, g.N()/2)
+	}
+}
+
+func BenchmarkContractInto(b *testing.B) {
+	g := randomTestGraph(2048, 4096, 9)
+	coarse := make([]int32, g.N())
+	for v := range coarse {
+		coarse[v] = int32(v / 2)
+	}
+	var c Contractor
+	var dst Graph
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.ContractInto(&dst, g, coarse, g.N()/2)
+	}
+}

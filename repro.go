@@ -63,6 +63,10 @@ type (
 	TimerOptions = core.Options
 	// TimerResult reports a TIMER run (Coco before/after, mapping).
 	TimerResult = core.Result
+	// TimerScratch is the reusable hot-path arena of the TIMER enhancer;
+	// callers running many enhancements back to back pass one via
+	// TimerOptions.Scratch to make the warm path allocation-free.
+	TimerScratch = core.Scratch
 	// PartitionResult reports a k-way partition with quality metrics.
 	PartitionResult = partition.Result
 	// DRBConfig configures the SCOTCH-style dual-recursive-bisection
@@ -124,6 +128,10 @@ func ParseCase(s string) (Case, error) { return engine.ParseCase(s) }
 
 // NewBuilder creates a graph builder for n vertices.
 func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// NewTimerScratch creates a reusable TIMER scratch arena (see
+// TimerOptions.Scratch).
+func NewTimerScratch() *TimerScratch { return core.NewScratch() }
 
 // NewEngine creates a concurrent mapping engine and starts its worker
 // pool. Close it when done. Submit/Wait/RunBatch run whole
