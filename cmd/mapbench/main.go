@@ -130,6 +130,22 @@ func printSummary(r *bench.Results) {
 		fmt.Printf("  %.0f ns/job   %.0f allocs/job   %.0f bytes/job\n",
 			r.Perf.NsPerJob, r.Perf.AllocsPerJob, r.Perf.BytesPerJob)
 	}
+	// Base-vs-enhancement split: the two stages this repository's hot
+	// paths target (PR 3 made TIMER allocation-free; the base stage got
+	// the same treatment), averaged across scenarios.
+	var baseMs, timerMs float64
+	counted := 0
+	for i := range r.Scenarios {
+		if p := r.Scenarios[i].Perf; p != nil {
+			baseMs += p.BaseNsPerJob.Mean / 1e6
+			timerMs += p.TimerSeconds.Mean * 1e3
+			counted++
+		}
+	}
+	if counted > 0 {
+		fmt.Printf("  base %.2f ms/job   enhance %.2f ms/job (scenario means)\n",
+			baseMs/float64(counted), timerMs/float64(counted))
+	}
 }
 
 func printDiff(d *bench.Diff, baseline string, tol float64) {

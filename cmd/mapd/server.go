@@ -158,7 +158,9 @@ func (s *server) benchMatrices(w http.ResponseWriter, r *http.Request) {
 
 // stats reports the runtime and pool statistics an operator watches
 // under load: goroutine count, heap footprint, worker-pool and queue
-// state, jobs served, and topology-cache effectiveness.
+// state, jobs served, cumulative per-stage seconds (the engine's
+// partition/map/enhance split — how much of the fleet's time goes to
+// the base stage vs TIMER), and topology-cache effectiveness.
 func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 	var mem runtime.MemStats
 	runtime.ReadMemStats(&mem)

@@ -221,6 +221,12 @@ func TestMapdStatsAndPprof(t *testing.T) {
 	if stats.Engine.Workers != 2 || stats.Engine.JobsServed < 1 || stats.Engine.JobsRetained < 1 {
 		t.Errorf("engine stats = %+v, want 2 workers and ≥1 served/retained", stats.Engine)
 	}
+	// Cumulative per-stage seconds: the operator's base-vs-TIMER split.
+	for _, stage := range []string{"partition", "map", "enhance"} {
+		if _, ok := stats.Engine.StageSeconds[stage]; !ok {
+			t.Errorf("stage %q missing from /v1/stats stage_seconds: %+v", stage, stats.Engine.StageSeconds)
+		}
+	}
 	if stats.Goroutines <= 0 || stats.HeapAlloc == 0 {
 		t.Errorf("runtime stats missing: %+v", stats)
 	}

@@ -54,6 +54,12 @@ type Spec struct {
 	// Cases name the initial mappers, in ParseCase syntax: "random",
 	// "identity", "greedyallc", "greedymin", "scotch" (or c0–c4).
 	Cases []string `json:"cases"`
+	// ExtraCells appends explicit scenarios outside the cross product,
+	// each with its own scale — e.g. smoke's larger-scale rows, which
+	// would be too expensive to run for the whole matrix but are
+	// affordable as single cells. Their names must not collide with the
+	// cross product's.
+	ExtraCells []Cell `json:"extra_cells,omitempty"`
 	// Reps runs every cell this many times with derived seeds
 	// (default 1).
 	Reps int `json:"reps,omitempty"`
@@ -77,6 +83,16 @@ func (s Spec) withDefaults() Spec {
 		s.Seed = 1
 	}
 	return s
+}
+
+// Cell is one explicit scenario of a matrix, named outside the
+// networks × topologies × cases cross product: the same triple but with
+// a per-cell scale override (0 inherits the matrix scale).
+type Cell struct {
+	Network  string  `json:"network"`
+	Scale    float64 `json:"scale,omitempty"`
+	Topology string  `json:"topology"`
+	Case     string  `json:"case"`
 }
 
 // Scenario is one expanded cell of a matrix: a (network, topology,
@@ -104,43 +120,65 @@ func (s Spec) Expand() ([]Scenario, int, error) {
 	seen := make(map[string]bool)
 	var out []Scenario
 	skipped := 0
-	for _, name := range s.Networks {
-		net, err := netgen.ByName(name)
+	// expand validates one (network, scale, topology, case) cell and
+	// appends it, or counts it skipped when the scaled instance would
+	// not outsize the topology — one pipeline for cross-product cells
+	// and ExtraCells, so the two can never diverge behaviorally.
+	expand := func(network string, scale float64, topoSpec, caseName string) error {
+		net, err := netgen.ByName(network)
 		if err != nil {
-			return nil, 0, fmt.Errorf("bench: matrix %q: %w", s.Name, err)
+			return fmt.Errorf("bench: matrix %q: %w", s.Name, err)
+		}
+		parsed, err := topology.ParseSpec(topoSpec)
+		if err != nil {
+			return fmt.Errorf("bench: matrix %q: %w", s.Name, err)
+		}
+		c, err := engine.ParseCase(caseName)
+		if err != nil {
+			return fmt.Errorf("bench: matrix %q: %w", s.Name, err)
 		}
 		// Generate applies the same floor, so this predicts the real size.
-		n := int(float64(net.FullV) * s.Scale)
+		n := int(float64(net.FullV) * scale)
 		if n < 64 {
 			n = 64
 		}
+		if n <= parsed.PEs() {
+			skipped++
+			return nil
+		}
+		sc := Scenario{
+			Name:     network + "/" + parsed.String() + "/" + c.String(),
+			Network:  network,
+			Scale:    scale,
+			Topology: parsed.String(),
+			Case:     c,
+		}
+		if seen[sc.Name] {
+			return fmt.Errorf("bench: matrix %q: duplicate scenario %q", s.Name, sc.Name)
+		}
+		seen[sc.Name] = true
+		out = append(out, sc)
+		return nil
+	}
+	for _, name := range s.Networks {
 		for _, topoSpec := range s.Topologies {
-			parsed, err := topology.ParseSpec(topoSpec)
-			if err != nil {
-				return nil, 0, fmt.Errorf("bench: matrix %q: %w", s.Name, err)
-			}
-			if n <= parsed.PEs() {
-				skipped += len(s.Cases)
-				continue
-			}
 			for _, caseName := range s.Cases {
-				c, err := engine.ParseCase(caseName)
-				if err != nil {
-					return nil, 0, fmt.Errorf("bench: matrix %q: %w", s.Name, err)
+				if err := expand(name, s.Scale, topoSpec, caseName); err != nil {
+					return nil, 0, err
 				}
-				sc := Scenario{
-					Name:     name + "/" + parsed.String() + "/" + c.String(),
-					Network:  name,
-					Scale:    s.Scale,
-					Topology: parsed.String(),
-					Case:     c,
-				}
-				if seen[sc.Name] {
-					return nil, 0, fmt.Errorf("bench: matrix %q: duplicate scenario %q", s.Name, sc.Name)
-				}
-				seen[sc.Name] = true
-				out = append(out, sc)
 			}
+		}
+	}
+	for i, cell := range s.ExtraCells {
+		scale := cell.Scale
+		if scale == 0 {
+			scale = s.Scale // unset inherits the matrix scale
+		}
+		if scale <= 0 || scale > 1 {
+			return nil, 0, fmt.Errorf("bench: matrix %q: extra cell %d has scale %g, want (0, 1] or 0 to inherit", s.Name, i, cell.Scale)
+		}
+		if err := expand(cell.Network, scale, cell.Topology, cell.Case); err != nil {
+			return nil, 0, err
 		}
 	}
 	if len(out) == 0 {

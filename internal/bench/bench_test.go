@@ -200,3 +200,75 @@ func TestCanonicalMatricesExpand(t *testing.T) {
 		t.Error("unknown matrix name accepted")
 	}
 }
+
+// TestExtraCells: explicit cells expand with their own scale, inherit
+// the matrix scale when unset, skip too-small instances, and collide
+// loudly with cross-product names.
+func TestExtraCells(t *testing.T) {
+	s := tinySpec()
+	s.ExtraCells = []Cell{
+		{Network: "PGPgiantcompo", Scale: 0.5, Topology: "torus:4x4", Case: "greedymin"},
+		{Network: "PGPgiantcompo", Topology: "grid:4x4", Case: "identity"},                 // inherits Scale 0.02
+		{Network: "p2p-Gnutella", Scale: 0.001, Topology: "hypercube:6", Case: "identity"}, // 64-vertex floor: too small
+	}
+	scs, skipped, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 1 {
+		t.Errorf("skipped = %d, want 1 (the too-small cell)", skipped)
+	}
+	byName := make(map[string]Scenario, len(scs))
+	for _, sc := range scs {
+		byName[sc.Name] = sc
+	}
+	half, ok := byName["PGPgiantcompo/torus:4x4/GREEDYMIN"]
+	if !ok || half.Scale != 0.5 {
+		t.Errorf("explicit-scale cell = %+v, want scale 0.5", half)
+	}
+	inherit, ok := byName["PGPgiantcompo/grid:4x4/IDENTITY"]
+	if !ok || inherit.Scale != 0.02 {
+		t.Errorf("inherited-scale cell = %+v, want the matrix scale 0.02", inherit)
+	}
+
+	dup := tinySpec()
+	dup.ExtraCells = []Cell{{Network: "p2p-Gnutella", Topology: "hypercube:4", Case: "identity"}}
+	if _, _, err := dup.Expand(); err == nil {
+		t.Error("cell duplicating a cross-product scenario accepted")
+	}
+
+	bad := tinySpec()
+	bad.ExtraCells = []Cell{{Network: "p2p-Gnutella", Topology: "hypercube:4", Case: "no-such"}}
+	if _, _, err := bad.Expand(); err == nil {
+		t.Error("cell with unknown case accepted")
+	}
+
+	// Out-of-range scales fail loudly rather than silently inheriting:
+	// the scenario name does not encode scale, so a typo like 1.5 would
+	// otherwise measure the wrong workload unnoticed.
+	for _, wrong := range []float64{1.5, -0.5} {
+		badScale := tinySpec()
+		badScale.ExtraCells = []Cell{{Network: "PGPgiantcompo", Scale: wrong, Topology: "grid:4x4", Case: "identity"}}
+		if _, _, err := badScale.Expand(); err == nil {
+			t.Errorf("cell with scale %g accepted", wrong)
+		}
+	}
+
+	// The smoke matrix carries the larger-scale rows.
+	smoke, _, err := Smoke().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, sc := range smoke {
+		if sc.Topology == "grid:32x32" || sc.Topology == "torus:16x16" {
+			if sc.Scale != 0.5 {
+				t.Errorf("%s: scale %g, want 0.5", sc.Name, sc.Scale)
+			}
+			found++
+		}
+	}
+	if found != 2 {
+		t.Errorf("smoke has %d larger-scale rows, want 2", found)
+	}
+}

@@ -11,6 +11,11 @@ import (
 // finish well under a minute on a CI runner while still exercising the
 // whole partition → map → enhance pipeline. Its quality metrics gate
 // regressions against the committed BENCH_baseline.json.
+//
+// The extra cells run half-scale networks on much larger topologies
+// (1024-PE grid, 256-PE torus) — rows the allocation-free base stage
+// makes affordable in CI, covering the K ≫ 64 partitioning regime and
+// the greedy mappers' O(P²) scans over a real distance table.
 func Smoke() Spec {
 	return Spec{
 		Name:     "smoke",
@@ -20,7 +25,11 @@ func Smoke() Spec {
 			"grid:8x8",
 			"hypercube:6",
 		},
-		Cases:          []string{"random", "identity", "greedyallc", "greedymin", "scotch"},
+		Cases: []string{"random", "identity", "greedyallc", "greedymin", "scotch"},
+		ExtraCells: []Cell{
+			{Network: "p2p-Gnutella", Scale: 0.5, Topology: "grid:32x32", Case: "greedymin"},
+			{Network: "PGPgiantcompo", Scale: 0.5, Topology: "torus:16x16", Case: "scotch"},
+		},
 		Reps:           2,
 		Seed:           1,
 		NumHierarchies: 16,

@@ -41,7 +41,11 @@ type Quality struct {
 type Perf struct {
 	// BaseSeconds is the initial-mapping time (partitioning or DRB);
 	// TimerSeconds the enhancement time — the paper's Table 2 axes.
-	BaseSeconds  metrics.Triple `json:"base_seconds"`
+	BaseSeconds metrics.Triple `json:"base_seconds"`
+	// BaseNsPerJob is the base-stage wall time per job in nanoseconds —
+	// the ns/op of the partition/DRB hot path, directly comparable with
+	// the BenchmarkPartitionWarm/BenchmarkDRBWarm microbenchmarks.
+	BaseNsPerJob metrics.Triple `json:"base_ns_per_job"`
 	TimerSeconds metrics.Triple `json:"timer_seconds"`
 	// TimerNsPerHierarchy is the enhancement time divided by the number
 	// of hierarchies tried — the ns/op of the TIMER hot path, directly

@@ -56,15 +56,18 @@ func Run(spec Spec, opt RunOptions) (*Results, error) {
 		progress = func(string) {}
 	}
 
-	// One generated instance per network, shared by every scenario that
-	// names it: repetitions and cases must vary only the pipeline seed,
-	// never the graph. Generation runs concurrently — each instance
-	// depends only on (name, scale, seed), so the paper-scale networks
-	// don't serialize the whole startup — and stays deterministic.
+	// One generated instance per (network, scale), shared by every
+	// scenario that names it: repetitions and cases must vary only the
+	// pipeline seed, never the graph. Extra cells may run a network at a
+	// different scale than the cross product, hence the composite key.
+	// Generation runs concurrently — each instance depends only on
+	// (name, scale, seed), so the paper-scale networks don't serialize
+	// the whole startup — and stays deterministic.
+	instKey := func(sc Scenario) string { return fmt.Sprintf("%s@%g", sc.Network, sc.Scale) }
 	slots := make(map[string]**graph.Graph, len(spec.Networks))
 	var wg sync.WaitGroup
 	for _, sc := range scenarios {
-		if _, ok := slots[sc.Network]; ok {
+		if _, ok := slots[instKey(sc)]; ok {
 			continue
 		}
 		net, err := netgen.ByName(sc.Network)
@@ -73,7 +76,7 @@ func Run(spec Spec, opt RunOptions) (*Results, error) {
 			return nil, fmt.Errorf("bench: %w", err)
 		}
 		slot := new(*graph.Graph)
-		slots[sc.Network] = slot
+		slots[instKey(sc)] = slot
 		wg.Add(1)
 		go func(scale float64) {
 			defer wg.Done()
@@ -82,8 +85,8 @@ func Run(spec Spec, opt RunOptions) (*Results, error) {
 	}
 	wg.Wait()
 	graphs := make(map[string]*graph.Graph, len(slots))
-	for name, slot := range slots {
-		graphs[name] = *slot
+	for key, slot := range slots {
+		graphs[key] = *slot
 	}
 
 	total := len(scenarios) * spec.Reps
@@ -113,7 +116,7 @@ func Run(spec Spec, opt RunOptions) (*Results, error) {
 					Network: sc.Network,
 					Scale:   sc.Scale,
 					Seed:    spec.Seed,
-					G:       graphs[sc.Network],
+					G:       graphs[instKey(sc)],
 				},
 				Topology:       sc.Topology,
 				Case:           sc.Case,
@@ -262,8 +265,13 @@ func fillScenario(sr *ScenarioResult, reps []*engine.JobResult, nh int) {
 	for i, s := range timerS {
 		nsPerH[i] = s * 1e9 / float64(nh)
 	}
+	baseNs := make([]float64, len(baseS))
+	for i, s := range baseS {
+		baseNs[i] = s * 1e9
+	}
 	p := &Perf{
 		BaseSeconds:         metrics.Summarize(baseS),
+		BaseNsPerJob:        metrics.Summarize(baseNs),
 		TimerSeconds:        metrics.Summarize(timerS),
 		TimerNsPerHierarchy: metrics.Summarize(nsPerH),
 		JobSeconds:          metrics.Summarize(jobS),

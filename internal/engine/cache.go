@@ -110,7 +110,12 @@ func (c *TopologyCache) Get(spec string) (*topology.Topology, error) {
 		}
 	}
 	if e.err == nil {
+		// Pay the lazy PEOf index and all-pairs distance-table builds up
+		// front: every job served from this entry then reads both
+		// structures without a first-use stall (the table is nil beyond
+		// its size cap; consumers fall back to Hamming distances).
 		e.topo.PEOf(e.topo.Labels[0])
+		e.topo.DistanceTable()
 	}
 	e.buildSeconds = time.Since(t0).Seconds()
 	close(e.ready)

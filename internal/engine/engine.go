@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/mapping"
 	"repro/internal/topology"
 )
 
@@ -99,16 +100,38 @@ type Engine struct {
 	wg      sync.WaitGroup
 
 	served atomic.Int64 // jobs finished (done or failed) since New
+
+	// stageMu guards stageSecs, the cumulative wall time spent in each
+	// pipeline stage across all worker-executed jobs — the operator's
+	// view of the base-vs-TIMER split under load (served by /v1/stats).
+	stageMu   sync.Mutex
+	stageSecs map[string]float64
+}
+
+// workerScratch bundles the per-worker-goroutine arenas of the whole
+// pipeline: the TIMER scratch of the enhancement stage and the
+// base-stage scratch (partitioner + mapper) of everything before it.
+// Back-to-back jobs on one worker reuse the same warm buffers, so a
+// worker's steady state stops touching the heap once it has seen its
+// largest job.
+type workerScratch struct {
+	timer *core.Scratch
+	base  *mapping.Scratch
+}
+
+func newWorkerScratch() *workerScratch {
+	return &workerScratch{timer: core.NewScratch(), base: mapping.NewScratch()}
 }
 
 // New creates an engine and starts its worker pool.
 func New(opt Options) *Engine {
 	opt = opt.withDefaults()
 	e := &Engine{
-		opt:     opt,
-		cache:   NewTopologyCache(),
-		jobs:    make(map[string]*jobRecord),
-		pending: make(chan *jobRecord, opt.QueueCap),
+		opt:       opt,
+		cache:     NewTopologyCache(),
+		jobs:      make(map[string]*jobRecord),
+		pending:   make(chan *jobRecord, opt.QueueCap),
+		stageSecs: make(map[string]float64),
 	}
 	e.wg.Add(opt.Workers)
 	for i := 0; i < opt.Workers; i++ {
@@ -243,7 +266,8 @@ func (e *Engine) Jobs() []Job {
 // Run executes a job synchronously on the calling goroutine, bypassing
 // the queue (library convenience; the topology still goes through the
 // cache). The job is not registered in the engine's job table. Per-stage
-// timings are in the result's Stages field.
+// timings are in the result's Stages field. Without a worker's scratch
+// the pipeline stages borrow arenas from their package pools.
 func (e *Engine) Run(spec JobSpec) (*JobResult, error) {
 	return runPipeline(spec, e.cache.Get, nil, nil)
 }
@@ -262,6 +286,11 @@ type Stats struct {
 	JobsServed   int64 `json:"jobs_served"`
 	JobsRetained int   `json:"jobs_retained"`
 	RetainCap    int   `json:"retain_cap"`
+	// StageSeconds is the cumulative wall time spent in each pipeline
+	// stage across all worker-executed jobs since the engine started
+	// ("partition"/"drb"/"map" are the base stage, "enhance" is TIMER),
+	// so operators can watch the base-vs-enhancement split under load.
+	StageSeconds map[string]float64 `json:"stage_seconds,omitempty"`
 }
 
 // Stats returns the engine's pool statistics.
@@ -269,6 +298,12 @@ func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	retained := len(e.jobs)
 	e.mu.Unlock()
+	e.stageMu.Lock()
+	stages := make(map[string]float64, len(e.stageSecs))
+	for name, sec := range e.stageSecs {
+		stages[name] = sec
+	}
+	e.stageMu.Unlock()
 	return Stats{
 		Workers:      e.opt.Workers,
 		QueueDepth:   len(e.pending),
@@ -276,28 +311,28 @@ func (e *Engine) Stats() Stats {
 		JobsServed:   e.served.Load(),
 		JobsRetained: retained,
 		RetainCap:    e.opt.RetainJobs,
+		StageSeconds: stages,
 	}
 }
 
 func (e *Engine) worker() {
 	defer e.wg.Done()
-	// Each worker owns one TIMER scratch arena: back-to-back jobs reuse
-	// the same warm buffers, so the enhancement hot path stops touching
-	// the heap once the worker has seen its largest job.
-	sc := core.NewScratch()
+	// Each worker owns the pipeline scratch arenas (TIMER + base stage):
+	// see workerScratch.
+	ws := newWorkerScratch()
 	for rec := range e.pending {
-		e.execute(rec, sc)
+		e.execute(rec, ws)
 	}
 }
 
-func (e *Engine) execute(rec *jobRecord, sc *core.Scratch) {
+func (e *Engine) execute(rec *jobRecord, ws *workerScratch) {
 	rec.mu.Lock()
 	rec.job.Status = StatusRunning
 	rec.job.Started = time.Now()
 	spec := rec.job.Spec
 	rec.mu.Unlock()
 
-	res, err := e.runGuarded(spec, rec, sc)
+	res, err := e.runGuarded(spec, rec, ws)
 
 	rec.mu.Lock()
 	rec.job.Stage = ""
@@ -327,13 +362,18 @@ func (e *Engine) execute(rec *jobRecord, sc *core.Scratch) {
 // runGuarded runs the pipeline and converts panics into job failures: a
 // malformed job must never take the worker (and with it the whole
 // service) down.
-func (e *Engine) runGuarded(spec JobSpec, rec *jobRecord, sc *core.Scratch) (res *JobResult, err error) {
+func (e *Engine) runGuarded(spec JobSpec, rec *jobRecord, ws *workerScratch) (res *JobResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, fmt.Errorf("engine: job panicked: %v", r)
 		}
 	}()
 	return runPipeline(spec, e.cache.Get, func(name string, seconds float64) {
+		if seconds >= 0 {
+			e.stageMu.Lock()
+			e.stageSecs[name] += seconds
+			e.stageMu.Unlock()
+		}
 		rec.mu.Lock()
 		if seconds < 0 {
 			rec.job.Stage = name
@@ -341,5 +381,5 @@ func (e *Engine) runGuarded(spec JobSpec, rec *jobRecord, sc *core.Scratch) (res
 			rec.job.Stages = append(rec.job.Stages, Stage{Name: name, Seconds: seconds})
 		}
 		rec.mu.Unlock()
-	}, sc)
+	}, ws)
 }

@@ -433,3 +433,46 @@ func ExampleEngine() {
 	// Output:
 	// done true
 }
+
+// TestStatsStageSeconds: worker-executed jobs must accumulate into the
+// engine's cumulative per-stage clock, giving operators the
+// base-vs-enhancement split (partition/map vs enhance) under load.
+func TestStatsStageSeconds(t *testing.T) {
+	e := New(Options{Workers: 2})
+	defer e.Close()
+
+	if s := e.Stats(); len(s.StageSeconds) != 0 {
+		t.Fatalf("fresh engine reports stage seconds: %+v", s.StageSeconds)
+	}
+	job, err := e.Submit(testJobSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Wait(job.ID); err != nil {
+		t.Fatal(err)
+	}
+	drb := testJobSpec(4)
+	drb.Case = C1SCOTCH
+	job2, err := e.Submit(drb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Wait(job2.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	s := e.Stats()
+	for _, stage := range []string{"partition", "map", "drb", "enhance", "topology", "graph"} {
+		if _, ok := s.StageSeconds[stage]; !ok {
+			t.Errorf("stage %q missing from cumulative stats: %+v", stage, s.StageSeconds)
+		}
+	}
+	if s.StageSeconds["enhance"] <= 0 {
+		t.Errorf("enhance stage accumulated %v seconds, want > 0", s.StageSeconds["enhance"])
+	}
+	// Stats hands out a copy: mutating it must not corrupt the engine.
+	s.StageSeconds["enhance"] = -1
+	if e.Stats().StageSeconds["enhance"] <= 0 {
+		t.Error("Stats exposed internal stage map")
+	}
+}

@@ -309,10 +309,12 @@ type Job struct {
 // runPipeline executes the partition → initial mapping → TIMER pipeline
 // of one job. resolve supplies the topology (cache-backed for engine
 // jobs); stage is called before each step begins and receives the
-// step's duration after it ends, so callers can stream progress. sc,
-// when non-nil, is the calling worker's reusable TIMER scratch arena.
+// step's duration after it ends, so callers can stream progress. ws,
+// when non-nil, carries the calling worker's reusable scratch arenas
+// (base stage + TIMER); without it, every stage borrows from its
+// package pool.
 func runPipeline(spec JobSpec, resolve func(string) (*topology.Topology, error),
-	stage func(name string, seconds float64), sc *core.Scratch) (*JobResult, error) {
+	stage func(name string, seconds float64), ws *workerScratch) (*JobResult, error) {
 	spec = spec.withDefaults()
 	if stage == nil {
 		stage = func(string, float64) {}
@@ -361,12 +363,26 @@ func runPipeline(spec JobSpec, resolve func(string) (*topology.Topology, error),
 		Case:     spec.Case,
 	}
 
+	// The worker's base-stage arena, when present: partition, DRB and the
+	// greedy constructions then reuse warm buffers instead of allocating.
+	var baseSc *mapping.Scratch
+	if ws != nil {
+		baseSc = ws.base
+	}
+
 	var assign []int32
 	switch spec.Case {
 	case C1SCOTCH:
 		if err := timed("drb", func() error {
 			t0 := time.Now()
-			a, err := mapping.DRB(ga, topo, mapping.DRBConfig{Epsilon: spec.Epsilon, Seed: spec.Seed, Fast: true})
+			cfg := mapping.DRBConfig{Epsilon: spec.Epsilon, Seed: spec.Seed, Fast: true}
+			var a []int32
+			var err error
+			if baseSc != nil {
+				a, err = baseSc.DRB(ga, topo, cfg)
+			} else {
+				a, err = mapping.DRB(ga, topo, cfg)
+			}
 			if err != nil {
 				return err
 			}
@@ -380,8 +396,12 @@ func runPipeline(spec JobSpec, resolve func(string) (*topology.Topology, error),
 		var part *partition.Result
 		if err := timed("partition", func() error {
 			t0 := time.Now()
+			cfg := partition.Config{K: topo.P(), Epsilon: spec.Epsilon, Seed: spec.Seed}
+			if baseSc != nil {
+				cfg.Scratch = baseSc.Partition
+			}
 			var err error
-			part, err = partition.Partition(ga, partition.Config{K: topo.P(), Epsilon: spec.Epsilon, Seed: spec.Seed})
+			part, err = partition.Partition(ga, cfg)
 			res.BaseSeconds = time.Since(t0).Seconds()
 			return err
 		}); err != nil {
@@ -402,14 +422,21 @@ func runPipeline(spec JobSpec, resolve func(string) (*topology.Topology, error),
 				assign = mapping.Compose(part.Part, nu)
 				return nil
 			case C3GreedyAllC, C4GreedyMin:
-				gc := mapping.CommGraph(ga, part.Part, topo.P())
-				var nu []int32
-				var err error
-				if spec.Case == C3GreedyAllC {
-					nu, err = mapping.GreedyAllC(gc, topo)
+				// Storage source and constructor choice are independent:
+				// resolve each once instead of expanding the product.
+				var gc *graph.Graph
+				allC, min := mapping.GreedyAllC, mapping.GreedyMin
+				if baseSc != nil {
+					gc = baseSc.CommGraph(ga, part.Part, topo.P())
+					allC, min = baseSc.GreedyAllC, baseSc.GreedyMin
 				} else {
-					nu, err = mapping.GreedyMin(gc, topo)
+					gc = mapping.CommGraph(ga, part.Part, topo.P())
 				}
+				construct := allC
+				if spec.Case == C4GreedyMin {
+					construct = min
+				}
+				nu, err := construct(gc, topo)
 				if err != nil {
 					return err
 				}
@@ -428,6 +455,10 @@ func runPipeline(spec JobSpec, resolve func(string) (*topology.Topology, error),
 	res.DilationBefore = mapping.Dilation(ga, assign, topo)
 	res.ImbalanceBefore = mapping.Imbalance(ga, assign, topo.P())
 
+	var timerSc *core.Scratch
+	if ws != nil {
+		timerSc = ws.timer
+	}
 	if err := timed("enhance", func() error {
 		t0 := time.Now()
 		tr, err := core.Enhance(ga, topo, assign, core.Options{
@@ -435,7 +466,7 @@ func runPipeline(spec JobSpec, resolve func(string) (*topology.Topology, error),
 			Seed:           spec.Seed,
 			Workers:        spec.TimerWorkers,
 			SwapRounds:     spec.SwapRounds,
-			Scratch:        sc,
+			Scratch:        timerSc,
 		})
 		if err != nil {
 			return err

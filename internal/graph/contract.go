@@ -1,6 +1,9 @@
 package graph
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Contractor contracts graphs into reusable CSR storage. It exists for
 // hot loops that repeatedly coarsen and discard graphs — TIMER builds
@@ -19,6 +22,7 @@ type Contractor struct {
 	pos    []int32 // coarse id -> accumulating slot in dst.ew
 	mstart []int32 // coarse id -> member range start (counting sort)
 	mlist  []int32 // members grouped by coarse id
+	row    rowSorter
 }
 
 // Resize returns s with length n, reusing its backing array when it is
@@ -116,4 +120,39 @@ func (c *Contractor) ContractInto(dst *Graph, g *Graph, coarse []int32, nCoarse 
 		}
 	}
 	dst.tew = tew
+}
+
+// ContractSortedInto is ContractInto followed by an in-place sort of
+// every adjacency row by neighbor id. The result is structurally
+// identical to ContractPairs/Quotient — Builder emits sorted rows — so
+// call sites whose tie-breaking depends on adjacency order (the
+// multilevel partitioner, the greedy mappers' communication graphs) can
+// switch to reused storage without perturbing a single decision.
+func (c *Contractor) ContractSortedInto(dst *Graph, g *Graph, coarse []int32, nCoarse int) {
+	c.ContractInto(dst, g, coarse, nCoarse)
+	for cv := 0; cv < nCoarse; cv++ {
+		lo, hi := dst.xadj[cv], dst.xadj[cv+1]
+		if hi-lo < 2 {
+			continue
+		}
+		c.row.adj = dst.adj[lo:hi]
+		c.row.ew = dst.ew[lo:hi]
+		sort.Sort(&c.row)
+	}
+	c.row.adj, c.row.ew = nil, nil
+}
+
+// rowSorter sorts one adjacency row by neighbor id, carrying the edge
+// weights along. It lives inside the Contractor so the sort.Interface
+// value never escapes to the heap.
+type rowSorter struct {
+	adj []int32
+	ew  []int64
+}
+
+func (r *rowSorter) Len() int           { return len(r.adj) }
+func (r *rowSorter) Less(i, j int) bool { return r.adj[i] < r.adj[j] }
+func (r *rowSorter) Swap(i, j int) {
+	r.adj[i], r.adj[j] = r.adj[j], r.adj[i]
+	r.ew[i], r.ew[j] = r.ew[j], r.ew[i]
 }

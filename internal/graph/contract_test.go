@@ -113,3 +113,167 @@ func BenchmarkContractInto(b *testing.B) {
 		c.ContractInto(&dst, g, coarse, g.N()/2)
 	}
 }
+
+// sameCSR compares two graphs field for field, adjacency order
+// included: the sorted contraction and induced-subgraph fast paths
+// promise byte-identical structure to their Builder-based references,
+// because partitioner tie-breaking follows adjacency order.
+func sameCSR(t *testing.T, trial int, got, want *Graph) {
+	t.Helper()
+	if got.N() != want.N() || got.M() != want.M() ||
+		got.TotalVertexWeight() != want.TotalVertexWeight() ||
+		got.TotalEdgeWeight() != want.TotalEdgeWeight() {
+		t.Fatalf("trial %d: shape n=%d m=%d tvw=%d tew=%d, want n=%d m=%d tvw=%d tew=%d",
+			trial, got.N(), got.M(), got.TotalVertexWeight(), got.TotalEdgeWeight(),
+			want.N(), want.M(), want.TotalVertexWeight(), want.TotalEdgeWeight())
+	}
+	for v := 0; v < want.N(); v++ {
+		if got.VertexWeight(v) != want.VertexWeight(v) {
+			t.Fatalf("trial %d: vertex %d weight %d, want %d", trial, v, got.VertexWeight(v), want.VertexWeight(v))
+		}
+		gn, ge := got.Neighbors(v)
+		wn, we := want.Neighbors(v)
+		if len(gn) != len(wn) {
+			t.Fatalf("trial %d: vertex %d degree %d, want %d", trial, v, len(gn), len(wn))
+		}
+		for i := range wn {
+			if gn[i] != wn[i] || ge[i] != we[i] {
+				t.Fatalf("trial %d: vertex %d slot %d: (%d,%d), want (%d,%d)",
+					trial, v, i, gn[i], ge[i], wn[i], we[i])
+			}
+		}
+	}
+}
+
+// TestContractSortedIntoMatchesContractPairs: the sorted reused-storage
+// contraction must equal the Builder-based ContractPairs exactly,
+// including adjacency order.
+func TestContractSortedIntoMatchesContractPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var c Contractor
+	var dst Graph
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(200)
+		g := randomTestGraph(n, 2*n, rng.Int63())
+		nCoarse := 1 + rng.Intn(n)
+		coarse := make([]int32, n)
+		for v := range coarse {
+			if v < nCoarse {
+				coarse[v] = int32(v)
+			} else {
+				coarse[v] = int32(rng.Intn(nCoarse))
+			}
+		}
+		want := g.ContractPairs(coarse, nCoarse)
+		c.ContractSortedInto(&dst, g, coarse, nCoarse)
+		if err := dst.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		sameCSR(t, trial, &dst, want)
+	}
+}
+
+// TestInducedSubgraphIntoMatchesInducedSubgraph: the monotone-remap
+// fast path must equal the Builder-based construction exactly.
+func TestInducedSubgraphIntoMatchesInducedSubgraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var dst Graph
+	var remap []int32
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(200)
+		g := randomTestGraph(n, 2*n, rng.Int63())
+		var vertices []int32
+		for v := 0; v < n; v++ {
+			if rng.Intn(2) == 0 {
+				vertices = append(vertices, int32(v))
+			}
+		}
+		if len(vertices) == 0 {
+			vertices = append(vertices, int32(rng.Intn(n)))
+		}
+		want, wantRemap := g.InducedSubgraph(vertices)
+		remap = InducedSubgraphInto(&dst, g, vertices, remap)
+		if err := dst.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		sameCSR(t, trial, &dst, want)
+		for v := range wantRemap {
+			if remap[v] != wantRemap[v] {
+				t.Fatalf("trial %d: remap[%d] = %d, want %d", trial, v, remap[v], wantRemap[v])
+			}
+		}
+		vertices = vertices[:0]
+	}
+}
+
+// TestSortedContractionWarmZeroAllocs: the sorted variants power the
+// partitioner's warm path and must stay allocation-free too.
+func TestSortedContractionWarmZeroAllocs(t *testing.T) {
+	g := randomTestGraph(512, 1024, 7)
+	coarse := make([]int32, g.N())
+	vertices := make([]int32, 0, g.N())
+	for v := range coarse {
+		coarse[v] = int32(v / 2)
+		if v%2 == 0 {
+			vertices = append(vertices, int32(v))
+		}
+	}
+	var c Contractor
+	var dst, sub Graph
+	var remap []int32
+	c.ContractSortedInto(&dst, g, coarse, g.N()/2)
+	remap = InducedSubgraphInto(&sub, g, vertices, remap)
+	if allocs := testing.AllocsPerRun(10, func() {
+		c.ContractSortedInto(&dst, g, coarse, g.N()/2)
+	}); allocs != 0 {
+		t.Errorf("warm ContractSortedInto allocates %.1f times, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(10, func() {
+		remap = InducedSubgraphInto(&sub, g, vertices, remap)
+	}); allocs != 0 {
+		t.Errorf("warm InducedSubgraphInto allocates %.1f times, want 0", allocs)
+	}
+}
+
+func BenchmarkContractSortedInto(b *testing.B) {
+	g := randomTestGraph(2048, 4096, 9)
+	coarse := make([]int32, g.N())
+	for v := range coarse {
+		coarse[v] = int32(v / 2)
+	}
+	var c Contractor
+	var dst Graph
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.ContractSortedInto(&dst, g, coarse, g.N()/2)
+	}
+}
+
+func BenchmarkInducedSubgraph(b *testing.B) {
+	g := randomTestGraph(2048, 4096, 9)
+	vertices := make([]int32, 0, g.N()/2)
+	for v := 0; v < g.N(); v += 2 {
+		vertices = append(vertices, int32(v))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.InducedSubgraph(vertices)
+	}
+}
+
+func BenchmarkInducedSubgraphInto(b *testing.B) {
+	g := randomTestGraph(2048, 4096, 9)
+	vertices := make([]int32, 0, g.N()/2)
+	for v := 0; v < g.N(); v += 2 {
+		vertices = append(vertices, int32(v))
+	}
+	var dst Graph
+	var remap []int32
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		remap = InducedSubgraphInto(&dst, g, vertices, remap)
+	}
+}

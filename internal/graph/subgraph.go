@@ -30,6 +30,63 @@ func (g *Graph) InducedSubgraph(vertices []int32) (*Graph, []int32) {
 	return b.Build(), remap
 }
 
+// InducedSubgraphInto writes the subgraph of g induced by vertices into
+// dst, reusing dst's storage and remap as scratch (grown as needed; the
+// grown remap is returned for reuse). vertices must be strictly
+// increasing: the old→new renumbering is then monotone, so copying each
+// CSR row in order yields the same sorted adjacency Builder would
+// produce, making the result byte-equivalent to InducedSubgraph without
+// the O(m log m) construction sort or any steady-state allocation.
+//
+// dst aliases caller-owned storage and is overwritten by the next call
+// into it; it must not be retained beyond that.
+func InducedSubgraphInto(dst *Graph, g *Graph, vertices []int32, remap []int32) []int32 {
+	n := g.N()
+	remap = Resize(remap, n)
+	for i := range remap {
+		remap[i] = -1
+	}
+	for newID, v := range vertices {
+		if newID > 0 && vertices[newID-1] >= v {
+			panic(fmt.Sprintf("graph: induced vertex list not strictly increasing at %d", newID))
+		}
+		remap[v] = int32(newID)
+	}
+	ns := len(vertices)
+	dst.vw = Resize(dst.vw, ns)
+	dst.xadj = Resize(dst.xadj, ns+1)
+	dst.adj = Resize(dst.adj, len(g.adj))
+	dst.ew = Resize(dst.ew, len(g.ew))
+
+	cur := int32(0)
+	var tvw, tew int64
+	for newID, v := range vertices {
+		dst.xadj[newID] = cur
+		dst.vw[newID] = g.vw[v]
+		tvw += g.vw[v]
+		lo, hi := g.xadj[v], g.xadj[v+1]
+		for i := lo; i < hi; i++ {
+			nu := remap[g.adj[i]]
+			if nu < 0 {
+				continue
+			}
+			dst.adj[cur] = nu
+			dst.ew[cur] = g.ew[i]
+			if nu > int32(newID) {
+				tew += g.ew[i]
+			}
+			cur++
+		}
+	}
+	dst.xadj[ns] = cur
+	dst.adj = dst.adj[:cur]
+	dst.ew = dst.ew[:cur]
+	dst.m = int(cur) / 2
+	dst.tvw = tvw
+	dst.tew = tew
+	return remap
+}
+
 // Quotient contracts g according to the block assignment part (vertex ->
 // block id in [0, k)). The result has k vertices; vertex weights are block
 // weight sums and edge weights aggregate the weights of all original edges

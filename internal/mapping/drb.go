@@ -29,48 +29,63 @@ type DRBConfig struct {
 //
 // It returns the assignment vector Va → PE.
 func DRB(ga *graph.Graph, topo *topology.Topology, cfg DRBConfig) ([]int32, error) {
+	sc := getScratch()
+	assign, err := sc.DRB(ga, topo, cfg)
+	putScratch(sc)
+	return assign, err
+}
+
+// DRB is the scratch form of the package-level DRB: all recursion state
+// (split lists, induced subgraphs, bisection hierarchies) lives in the
+// scratch, so a warm call allocates only the returned assignment.
+func (sc *Scratch) DRB(ga *graph.Graph, topo *topology.Topology, cfg DRBConfig) ([]int32, error) {
 	if cfg.Epsilon <= 0 {
 		cfg.Epsilon = 0.03
 	}
 	if ga.N() < topo.P() {
 		return nil, fmt.Errorf("mapping: application graph has %d vertices for %d PEs", ga.N(), topo.P())
 	}
-	pcfg := partition.Config{K: 2, Epsilon: cfg.Epsilon, Seed: cfg.Seed}
+	pcfg := partition.Config{K: 2, Epsilon: cfg.Epsilon, Seed: cfg.Seed, Scratch: sc.Partition}
 	if cfg.Fast {
 		pcfg.InitialTries = 2
 		pcfg.FMPasses = 1
 		pcfg.CoarsestSize = 400
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := sc.seedRNG(cfg.Seed)
 	assign := make([]int32, ga.N())
-	pes := make([]int32, topo.P())
+	pes := graph.Resize(sc.pes, topo.P())
 	for i := range pes {
 		pes[i] = int32(i)
 	}
-	verts := make([]int32, ga.N())
+	verts := graph.Resize(sc.verts, ga.N())
 	for i := range verts {
 		verts[i] = int32(i)
 	}
-	drbRecurse(ga, topo, pcfg, rng, verts, pes, assign)
+	sc.pes, sc.verts = pes, verts
+	sc.drbRecurse(ga, topo, pcfg, rng, verts, pes, assign, 0)
 	return assign, nil
 }
 
 // drbRecurse assigns the vertices of sub (a subset of the original Ga,
-// as an induced subgraph with ids verts) to the PE subset pes.
-func drbRecurse(sub *graph.Graph, topo *topology.Topology, pcfg partition.Config,
-	rng *rand.Rand, verts, pes []int32, assign []int32) {
+// as an induced subgraph with ids verts) to the PE subset pes. depth
+// indexes the scratch's per-recursion-level storage.
+func (sc *Scratch) drbRecurse(sub *graph.Graph, topo *topology.Topology, pcfg partition.Config,
+	rng *rand.Rand, verts, pes []int32, assign []int32, depth int) {
 	if len(pes) == 1 {
 		for _, v := range verts {
 			assign[v] = pes[0]
 		}
 		return
 	}
-	pesL, pesR := splitPEs(topo, pes)
+	// All depth-state writes happen before recursing: deeper calls may
+	// grow sc.depths and invalidate the pointer.
+	ds := sc.depth(depth)
+	pesL, pesR := splitPEsInto(topo, pes, ds.pesL[:0], ds.pesR[:0])
 	fracL := float64(len(pesL)) / float64(len(pes))
 
 	side := bisectProportional(sub, pcfg, rng, fracL)
 
-	var leftIdx, rightIdx []int32
+	leftIdx, rightIdx := ds.leftIdx[:0], ds.rightIdx[:0]
 	for v := 0; v < sub.N(); v++ {
 		if side[v] == 0 {
 			leftIdx = append(leftIdx, int32(v))
@@ -78,24 +93,30 @@ func drbRecurse(sub *graph.Graph, topo *topology.Topology, pcfg partition.Config
 			rightIdx = append(rightIdx, int32(v))
 		}
 	}
-	subL, _ := sub.InducedSubgraph(leftIdx)
-	subR, _ := sub.InducedSubgraph(rightIdx)
-	vertsL := make([]int32, len(leftIdx))
+	subL, subR := ds.gL, ds.gR
+	sc.remap = graph.InducedSubgraphInto(subL, sub, leftIdx, sc.remap)
+	sc.remap = graph.InducedSubgraphInto(subR, sub, rightIdx, sc.remap)
+	vertsL := graph.Resize(ds.vertsL, len(leftIdx))
 	for i, v := range leftIdx {
 		vertsL[i] = verts[v]
 	}
-	vertsR := make([]int32, len(rightIdx))
+	vertsR := graph.Resize(ds.vertsR, len(rightIdx))
 	for i, v := range rightIdx {
 		vertsR[i] = verts[v]
 	}
-	drbRecurse(subL, topo, pcfg, rng, vertsL, pesL, assign)
-	drbRecurse(subR, topo, pcfg, rng, vertsR, pesR, assign)
+	ds.leftIdx, ds.rightIdx = leftIdx, rightIdx
+	ds.vertsL, ds.vertsR = vertsL, vertsR
+	ds.pesL, ds.pesR = pesL, pesR
+
+	sc.drbRecurse(subL, topo, pcfg, rng, vertsL, pesL, assign, depth+1)
+	sc.drbRecurse(subR, topo, pcfg, rng, vertsR, pesR, assign, depth+1)
 }
 
-// splitPEs halves a PE subset along the label digit that divides it most
-// evenly — a convex cut of the processor graph, which is exactly how a
-// partial cube decomposes recursively (paper Section 2).
-func splitPEs(topo *topology.Topology, pes []int32) (left, right []int32) {
+// splitPEsInto halves a PE subset along the label digit that divides it
+// most evenly — a convex cut of the processor graph, which is exactly
+// how a partial cube decomposes recursively (paper Section 2). The
+// halves are appended to the provided buffers.
+func splitPEsInto(topo *topology.Topology, pes []int32, left, right []int32) ([]int32, []int32) {
 	bestDigit, bestDiff := -1, len(pes)+1
 	for j := 0; j < topo.Dim; j++ {
 		zeros := 0
@@ -120,7 +141,9 @@ func splitPEs(topo *topology.Topology, pes []int32) (left, right []int32) {
 		// All labels identical on the remaining digits cannot happen for
 		// distinct labels; split arbitrarily as a safety net.
 		mid := len(pes) / 2
-		return pes[:mid], pes[mid:]
+		left = append(left, pes[:mid]...)
+		right = append(right, pes[mid:]...)
+		return left, right
 	}
 	for _, pe := range pes {
 		if topo.Labels[pe].Bit(bestDigit) == 0 {
@@ -134,7 +157,9 @@ func splitPEs(topo *topology.Topology, pes []int32) (left, right []int32) {
 
 // bisectProportional produces a 2-way split of sub with side 0 holding
 // fracL of the weight. It reuses the partitioner's machinery for k=2
-// with asymmetric targets via repeated bisection of the heavier side.
+// with asymmetric targets; with a scratch-backed config the returned
+// side aliases the partitioner scratch and is consumed before the next
+// bisection.
 func bisectProportional(sub *graph.Graph, pcfg partition.Config, rng *rand.Rand, fracL float64) []int32 {
 	if sub.N() == 1 {
 		return []int32{0}

@@ -22,7 +22,13 @@ import (
 // gc must have exactly topo.P() vertices; the result is the bijection
 // ν : Vc → Vp.
 func GreedyAllC(gc *graph.Graph, topo *topology.Topology) ([]int32, error) {
-	return greedyConstruct(gc, topo, true)
+	sc := getScratch()
+	nu, err := sc.greedyConstruct(gc, topo, true)
+	if err == nil {
+		nu = append([]int32(nil), nu...)
+	}
+	putScratch(sc)
+	return nu, err
 }
 
 // GreedyMin maps gc onto topo following the construct method of
@@ -31,25 +37,56 @@ func GreedyAllC(gc *graph.Graph, topo *topology.Topology) ([]int32, error) {
 // placed on the free PE with minimal distance to the PE of its most
 // strongly connected already-mapped neighbor ("one" instead of "all").
 func GreedyMin(gc *graph.Graph, topo *topology.Topology) ([]int32, error) {
-	return greedyConstruct(gc, topo, false)
+	sc := getScratch()
+	nu, err := sc.greedyConstruct(gc, topo, false)
+	if err == nil {
+		nu = append([]int32(nil), nu...)
+	}
+	putScratch(sc)
+	return nu, err
 }
 
-func greedyConstruct(gc *graph.Graph, topo *topology.Topology, all bool) ([]int32, error) {
+// GreedyAllC is the scratch form of the package-level GreedyAllC: the
+// returned bijection aliases scratch storage (valid until the scratch's
+// next use) and a warm call performs no heap allocations.
+func (sc *Scratch) GreedyAllC(gc *graph.Graph, topo *topology.Topology) ([]int32, error) {
+	return sc.greedyConstruct(gc, topo, true)
+}
+
+// GreedyMin is the scratch form of the package-level GreedyMin, with
+// the same aliasing contract as Scratch.GreedyAllC.
+func (sc *Scratch) GreedyMin(gc *graph.Graph, topo *topology.Topology) ([]int32, error) {
+	return sc.greedyConstruct(gc, topo, false)
+}
+
+func (sc *Scratch) greedyConstruct(gc *graph.Graph, topo *topology.Topology, all bool) ([]int32, error) {
 	p := topo.P()
 	if gc.N() != p {
 		return nil, fmt.Errorf("mapping: communication graph has %d vertices, topology has %d PEs", gc.N(), p)
 	}
-	nu := make([]int32, p)
+	// The shared distance table turns every d_Gp lookup of the O(P²)
+	// scans below into a byte load; dt == nil (huge topologies) falls
+	// back to per-pair Hamming distances with identical values.
+	dt := topo.DistanceTable()
+
+	nu := graph.Resize(sc.nu, p)
+	sc.nu = nu
 	for i := range nu {
 		nu[i] = -1
 	}
-	peUsed := make([]bool, p)
+	peUsed := graph.Resize(sc.peUsed, p)
+	for i := range peUsed {
+		peUsed[i] = false
+	}
 	// commToMapped[vc] = total edge weight from vc to already-mapped
 	// vertices; -1 marks mapped vertices.
-	commToMapped := make([]int64, p)
+	commToMapped := graph.Resize(sc.commToMapped, p)
+	clear(commToMapped)
 	// sumDistToUsed[vp] = Σ over used PEs of d(vp, ·), maintained
 	// incrementally (O(P) per placement).
-	sumDistToUsed := make([]int64, p)
+	sumDistToUsed := graph.Resize(sc.sumDistToUsed, p)
+	clear(sumDistToUsed)
+	sc.peUsed, sc.commToMapped, sc.sumDistToUsed = peUsed, commToMapped, sumDistToUsed
 
 	place := func(vc int, vp int) {
 		nu[vc] = int32(vp)
@@ -61,8 +98,15 @@ func greedyConstruct(gc *graph.Graph, topo *topology.Topology, all bool) ([]int3
 				commToMapped[u] += ew[i]
 			}
 		}
-		for q := 0; q < p; q++ {
-			sumDistToUsed[q] += int64(topo.Distance(q, vp))
+		if dt != nil {
+			row := dt.Row(vp)
+			for q := 0; q < p; q++ {
+				sumDistToUsed[q] += int64(row[q])
+			}
+		} else {
+			for q := 0; q < p; q++ {
+				sumDistToUsed[q] += int64(topo.Distance(q, vp))
+			}
 		}
 	}
 
@@ -77,8 +121,15 @@ func greedyConstruct(gc *graph.Graph, topo *topology.Topology, all bool) ([]int3
 	var bestD int64 = -1
 	for q := 0; q < p; q++ {
 		var s int64
-		for r := 0; r < p; r++ {
-			s += int64(topo.Distance(q, r))
+		if dt != nil {
+			row := dt.Row(q)
+			for r := 0; r < p; r++ {
+				s += int64(row[r])
+			}
+		} else {
+			for r := 0; r < p; r++ {
+				s += int64(topo.Distance(q, r))
+			}
 		}
 		if bestD < 0 || s < bestD {
 			bestD, vp0 = s, q
@@ -114,6 +165,10 @@ func greedyConstruct(gc *graph.Graph, topo *topology.Topology, all bool) ([]int3
 			}
 		}
 		// (b) choose the PE.
+		var anchorRow []uint8
+		if dt != nil && anchor >= 0 {
+			anchorRow = dt.Row(anchor)
+		}
 		vp := -1
 		var primary, secondary int64
 		for q := 0; q < p; q++ {
@@ -121,15 +176,19 @@ func greedyConstruct(gc *graph.Graph, topo *topology.Topology, all bool) ([]int3
 				continue
 			}
 			var pri, sec int64
+			var dAnchor int64
+			if anchor >= 0 {
+				if anchorRow != nil {
+					dAnchor = int64(anchorRow[q])
+				} else {
+					dAnchor = int64(topo.Distance(q, anchor))
+				}
+			}
 			if all {
 				pri = sumDistToUsed[q]
-				if anchor >= 0 {
-					sec = int64(topo.Distance(q, anchor))
-				}
+				sec = dAnchor
 			} else {
-				if anchor >= 0 {
-					pri = int64(topo.Distance(q, anchor))
-				}
+				pri = dAnchor
 				sec = sumDistToUsed[q]
 			}
 			if vp < 0 || pri < primary || (pri == primary && sec < secondary) {

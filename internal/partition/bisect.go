@@ -1,7 +1,6 @@
 package partition
 
 import (
-	"container/heap"
 	"math"
 	"math/rand"
 
@@ -10,8 +9,9 @@ import (
 
 // multilevelBisect splits g into sides 0/1 where side 0 receives
 // approximately fracL of the total vertex weight, within (1+epsBis)
-// slack on both sides. Returns the side assignment.
-func multilevelBisect(g *graph.Graph, cfg Config, rng *rand.Rand, fracL, epsBis float64) []int32 {
+// slack on both sides. The returned side assignment aliases scratch
+// storage and is valid until the scratch's next use.
+func (sc *Scratch) multilevelBisect(g *graph.Graph, cfg Config, rng *rand.Rand, fracL, epsBis float64) []int32 {
 	total := g.TotalVertexWeight()
 	targetL := int64(math.Round(fracL * float64(total)))
 	hiL := int64(math.Floor((1 + epsBis) * float64(targetL)))
@@ -39,91 +39,111 @@ func multilevelBisect(g *graph.Graph, cfg Config, rng *rand.Rand, fracL, epsBis 
 		loL = 1
 	}
 
-	levels := buildHierarchy(g, cfg, rng, hiL)
-	coarsest := levels[len(levels)-1].g
+	nlev := sc.buildHierarchy(g, cfg, rng, hiL)
+	coarsest := sc.levels[nlev-1].g
 
-	side := initialBisection(coarsest, rng, cfg.InitialTries, targetL, loL, hiL)
-	refineBisection(coarsest, side, loL, hiL, cfg.FMPasses)
+	side := sc.initialBisection(coarsest, rng, cfg.InitialTries, targetL, loL, hiL)
+	sc.refineBisection(coarsest, side, loL, hiL, cfg.FMPasses)
 
-	for li := len(levels) - 1; li >= 1; li-- {
-		side = projectPartition(levels[li].coarse, side)
-		refineBisection(levels[li-1].g, side, loL, hiL, cfg.FMPasses)
+	for li := nlev - 1; li >= 1; li-- {
+		coarse := sc.levels[li].coarse
+		fine := graph.Resize(sc.levels[li-1].side, len(coarse))
+		projectInto(fine, coarse, side)
+		sc.levels[li-1].side = fine
+		sc.refineBisection(sc.levels[li-1].g, fine, loL, hiL, cfg.FMPasses)
+		side = fine
 	}
-	rebalanceBisection(g, side, loL, hiL)
+	sc.rebalanceBisection(g, side, loL, hiL)
 
 	// Iterated multilevel: re-coarsen without crossing the current cut,
 	// then refine the projected bisection at every level again. Each
 	// V-cycle can only keep or improve the cut (FM never worsens it).
 	for c := 0; c < cfg.VCycles; c++ {
-		side = vcycleOnce(g, cfg, rng, side, loL, hiL)
+		side = sc.vcycleOnce(g, cfg, rng, side, loL, hiL)
 	}
 	return side
 }
 
 // vcycleOnce runs one restricted-coarsening V-cycle over an existing
-// bisection and returns the (possibly improved) bisection.
-func vcycleOnce(g *graph.Graph, cfg Config, rng *rand.Rand, side []int32, loL, hiL int64) []int32 {
-	levels := []level{{g: g, side: side}}
+// bisection and returns the (possibly improved) bisection, reusing the
+// scratch's hierarchy storage (the main pass's levels are dead by now).
+func (sc *Scratch) vcycleOnce(g *graph.Graph, cfg Config, rng *rand.Rand, side []int32, loL, hiL int64) []int32 {
+	sc.level(0).g = g
+	nlev := 1
 	cur := g
 	curSide := side
 	for cur.N() > cfg.CoarsestSize {
-		coarse, nc := heavyEdgeMatchingGrouped(cur, rng, hiL, curSide)
+		lv := sc.level(nlev)
+		var nc int
+		lv.coarse, nc = sc.heavyEdgeMatchingGrouped(cur, rng, hiL, curSide, lv.coarse)
 		if float64(nc) > 0.96*float64(cur.N()) {
 			break
 		}
-		next := cur.ContractPairs(coarse, nc)
-		nextSide := make([]int32, nc)
-		for v, cv := range coarse {
+		sc.contractor.ContractSortedInto(lv.store, cur, lv.coarse, nc)
+		lv.g = lv.store
+		nextSide := graph.Resize(lv.side, nc)
+		for v, cv := range lv.coarse {
 			nextSide[cv] = curSide[v] // matching never crosses the cut
 		}
-		levels = append(levels, level{g: next, coarse: coarse, side: nextSide})
-		cur = next
+		lv.side = nextSide
+		nlev++
+		cur = lv.g
 		curSide = nextSide
 	}
-	refineBisection(cur, curSide, loL, hiL, cfg.FMPasses)
-	for li := len(levels) - 1; li >= 1; li-- {
-		fine := projectPartition(levels[li].coarse, curSide)
-		refineBisection(levels[li-1].g, fine, loL, hiL, cfg.FMPasses)
+	sc.refineBisection(cur, curSide, loL, hiL, cfg.FMPasses)
+	for li := nlev - 1; li >= 1; li-- {
+		coarse := sc.levels[li].coarse
+		// The level-0 write may target the buffer holding the incoming
+		// side: safe, projection only reads the coarser level.
+		fine := graph.Resize(sc.levels[li-1].side, len(coarse))
+		projectInto(fine, coarse, curSide)
+		sc.levels[li-1].side = fine
+		sc.refineBisection(sc.levels[li-1].g, fine, loL, hiL, cfg.FMPasses)
 		curSide = fine
 	}
 	return curSide
 }
 
 // initialBisection runs several greedy graph-growing attempts and keeps
-// the best (feasible-first, then lowest cut).
-func initialBisection(g *graph.Graph, rng *rand.Rand, tries int, targetL, loL, hiL int64) []int32 {
-	var best []int32
+// the best (feasible-first, then lowest cut), double-buffering the
+// tries through the scratch.
+func (sc *Scratch) initialBisection(g *graph.Graph, rng *rand.Rand, tries int, targetL, loL, hiL int64) []int32 {
+	n := g.N()
+	cur := graph.Resize(sc.bisA, n)
+	best := graph.Resize(sc.bisB, n)
 	var bestCut int64 = math.MaxInt64
 	bestFeasible := false
+	haveBest := false
 	for t := 0; t < tries; t++ {
-		side := greedyGrow(g, rng, targetL)
-		rebalanceBisection(g, side, loL, hiL)
-		w0 := sideWeight(g, side)
+		sc.greedyGrowInto(cur, g, rng, targetL)
+		sc.rebalanceBisection(g, cur, loL, hiL)
+		w0 := sideWeight(g, cur)
 		feasible := w0 >= loL && w0 <= hiL
-		cut := Cut(g, side)
-		if best == nil ||
+		cut := Cut(g, cur)
+		if !haveBest ||
 			(feasible && !bestFeasible) ||
 			(feasible == bestFeasible && cut < bestCut) {
-			best, bestCut, bestFeasible = side, cut, feasible
+			cur, best = best, cur
+			bestCut, bestFeasible, haveBest = cut, feasible, true
 		}
 	}
+	sc.bisA, sc.bisB = cur, best
 	return best
 }
 
-// greedyGrow grows side 0 from a random seed, always absorbing the
+// greedyGrowInto grows side 0 from a random seed, always absorbing the
 // frontier vertex with the largest connection to the grown region minus
 // connection to the outside (greedy graph growing à la Metis), until the
-// region's weight reaches targetL.
-func greedyGrow(g *graph.Graph, rng *rand.Rand, targetL int64) []int32 {
+// region's weight reaches targetL. The assignment is written into side.
+func (sc *Scratch) greedyGrowInto(side []int32, g *graph.Graph, rng *rand.Rand, targetL int64) {
 	n := g.N()
-	side := make([]int32, n)
 	for i := range side {
 		side[i] = 1
 	}
-	gain := make([]int64, n)
-	inHeap := make([]bool, n)
-	h := &gainHeap{}
-	heap.Init(h)
+	gain := graph.Resize(sc.gain, n)
+	sc.gain = gain
+	clear(gain)
+	h := sc.h[:0]
 
 	seed := rng.Intn(n)
 	var w0 int64
@@ -134,14 +154,13 @@ func greedyGrow(g *graph.Graph, rng *rand.Rand, targetL int64) []int32 {
 		for i, u := range nbr {
 			if side[u] == 1 {
 				gain[u] += 2 * ew[i] // edge flips from external to internal
-				heap.Push(h, heapEntry{int32(u), gain[u]})
-				inHeap[u] = true
+				h.push(heapEntry{u, gain[u]})
 			}
 		}
 	}
 	absorb(seed)
-	for w0 < targetL && h.Len() > 0 {
-		e := heap.Pop(h).(heapEntry)
+	for w0 < targetL && len(h) > 0 {
+		e := h.pop()
 		v := int(e.v)
 		if side[v] == 0 || e.gain != gain[v] {
 			continue // stale entry
@@ -155,7 +174,7 @@ func greedyGrow(g *graph.Graph, rng *rand.Rand, targetL int64) []int32 {
 			absorb(v)
 		}
 	}
-	return side
+	sc.h = h
 }
 
 func sideWeight(g *graph.Graph, side []int32) int64 {
@@ -169,42 +188,46 @@ func sideWeight(g *graph.Graph, side []int32) int64 {
 }
 
 // rebalanceBisection moves vertices across the cut (cheapest damage
-// first) until side 0's weight lies in [loL, hiL].
-func rebalanceBisection(g *graph.Graph, side []int32, loL, hiL int64) {
+// first) until side 0's weight lies in [loL, hiL]. Move gains are
+// computed once and maintained incrementally across moves — exact
+// integer arithmetic, so the selected sequence is identical to
+// rescanning every neighborhood per move at a fraction of the cost.
+func (sc *Scratch) rebalanceBisection(g *graph.Graph, side []int32, loL, hiL int64) {
 	w0 := sideWeight(g, side)
+	if w0 >= loL && w0 <= hiL {
+		return
+	}
+	n := g.N()
+	gain := graph.Resize(sc.gain, n)
+	sc.gain = gain
+	for v := 0; v < n; v++ {
+		gain[v] = moveGain(g, side, v)
+	}
 	// The iteration bound guards against oscillation when no assignment
 	// can hit the window exactly (possible with heavy vertices).
-	for iter := 0; (w0 < loL || w0 > hiL) && iter <= 2*g.N(); iter++ {
+	for iter := 0; (w0 < loL || w0 > hiL) && iter <= 2*n; iter++ {
 		var from int32 // side to shrink
 		if w0 > hiL {
 			from = 0
 		} else {
 			from = 1
 		}
-		// Pick the movable vertex with the best (gain, small weight).
+		// Pick the movable vertex with the best gain (first max wins).
 		bestV := -1
 		var bestScore int64 = math.MinInt64
-		for v := 0; v < g.N(); v++ {
+		for v := 0; v < n; v++ {
 			if side[v] != from {
 				continue
 			}
-			nbr, ew := g.Neighbors(v)
-			var gainV int64
-			for i, u := range nbr {
-				if side[u] != side[v] {
-					gainV += ew[i]
-				} else {
-					gainV -= ew[i]
-				}
-			}
-			if gainV > bestScore {
-				bestScore = gainV
+			if gain[v] > bestScore {
+				bestScore = gain[v]
 				bestV = v
 			}
 		}
 		if bestV < 0 {
 			return // nothing movable; give up (caller re-checks feasibility)
 		}
+		oldSide := side[bestV]
 		if from == 0 {
 			side[bestV] = 1
 			w0 -= g.VertexWeight(bestV)
@@ -212,7 +235,27 @@ func rebalanceBisection(g *graph.Graph, side []int32, loL, hiL int64) {
 			side[bestV] = 0
 			w0 += g.VertexWeight(bestV)
 		}
+		// The flip inverts bestV's gain and toggles the edge terms of its
+		// neighbors: an edge that was internal to u is now external (+2w)
+		// and vice versa.
+		nbr, ew := g.Neighbors(bestV)
+		for i, u := range nbr {
+			if side[u] == oldSide {
+				gain[u] += 2 * ew[i]
+			} else {
+				gain[u] -= 2 * ew[i]
+			}
+		}
+		gain[bestV] = -gain[bestV]
 	}
+}
+
+// rebalanceBisection is the standalone form for tests and external
+// callers; it borrows a pooled scratch.
+func rebalanceBisection(g *graph.Graph, side []int32, loL, hiL int64) {
+	sc := getScratch()
+	sc.rebalanceBisection(g, side, loL, hiL)
+	putScratch(sc)
 }
 
 // heapEntry is a lazily-invalidated max-heap entry.
@@ -221,16 +264,67 @@ type heapEntry struct {
 	gain int64
 }
 
+// gainHeap is a non-boxing max-heap of heapEntry. Its sift operations
+// are exact ports of container/heap's up/down, so the pop order — and
+// with it every tie-break downstream — is identical to the previous
+// interface{}-boxing implementation, minus the per-entry allocation.
 type gainHeap []heapEntry
 
-func (h gainHeap) Len() int            { return len(h) }
-func (h gainHeap) Less(i, j int) bool  { return h[i].gain > h[j].gain }
-func (h gainHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *gainHeap) Push(x interface{}) { *h = append(*h, x.(heapEntry)) }
-func (h *gainHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h gainHeap) less(i, j int) bool { return h[i].gain > h[j].gain }
+func (h gainHeap) swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+
+// push appends e and restores the heap property (container/heap.Push).
+func (h *gainHeap) push(e heapEntry) {
+	*h = append(*h, e)
+	h.up(len(*h) - 1)
+}
+
+// pop removes and returns the maximum entry (container/heap.Pop).
+func (h *gainHeap) pop() heapEntry {
+	s := *h
+	n := len(s) - 1
+	s.swap(0, n)
+	s.down(0, n)
+	e := s[n]
+	*h = s[:n]
+	return e
+}
+
+// init establishes the heap property over arbitrary contents
+// (container/heap.Init).
+func (h gainHeap) init() {
+	n := len(h)
+	for i := n/2 - 1; i >= 0; i-- {
+		h.down(i, n)
+	}
+}
+
+func (h gainHeap) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !h.less(j, i) {
+			return
+		}
+		h.swap(i, j)
+		j = i
+	}
+}
+
+func (h gainHeap) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			return
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && h.less(j2, j1) {
+			j = j2 // = 2*i + 2  // right child
+		}
+		if !h.less(j, i) {
+			return
+		}
+		h.swap(i, j)
+		i = j
+	}
 }

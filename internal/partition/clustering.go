@@ -33,27 +33,36 @@ func (c CoarseningScheme) String() string {
 }
 
 // labelPropagationClustering groups vertices into clusters by
-// size-constrained label propagation: every vertex starts in its own
-// cluster; for a few rounds, each vertex (in random order) joins the
-// neighboring cluster with the heaviest connection, provided the cluster
-// stays below maxClusterWeight. Returns the dense cluster assignment and
-// the cluster count.
+// size-constrained label propagation; this standalone form allocates
+// its result and is kept for tests and external callers.
 func labelPropagationClustering(g *graph.Graph, rng *rand.Rand, maxClusterWeight int64, rounds int) ([]int32, int) {
+	sc := NewScratch()
+	return sc.labelPropagation(g, rng, maxClusterWeight, rounds, nil)
+}
+
+// labelPropagation is size-constrained label propagation on scratch
+// buffers: every vertex starts in its own cluster; for a few rounds,
+// each vertex (in random order) joins the neighboring cluster with the
+// heaviest connection, provided the cluster stays below
+// maxClusterWeight. The dense cluster assignment is written into
+// cluster (grown as needed) and returned with the cluster count.
+func (sc *Scratch) labelPropagation(g *graph.Graph, rng *rand.Rand, maxClusterWeight int64, rounds int, cluster []int32) ([]int32, int) {
 	n := g.N()
-	cluster := make([]int32, n)
-	weight := make([]int64, n)
+	cluster = graph.Resize(cluster, n)
+	weight := graph.Resize(sc.clWeight, n)
+	sc.clWeight = weight
 	for v := 0; v < n; v++ {
 		cluster[v] = int32(v)
 		weight[v] = g.VertexWeight(v)
 	}
 	// conn[c] accumulates v's connection to cluster c during one scan.
-	conn := make([]int64, n)
-	stamp := make([]int32, n)
+	conn, stamp := sc.stampedConn(n)
 	var curStamp int32
 
 	for round := 0; round < rounds; round++ {
 		moves := 0
-		for _, v := range rng.Perm(n) {
+		sc.perm = permInto(rng, sc.perm, n)
+		for _, v := range sc.perm {
 			cv := cluster[v]
 			wv := g.VertexWeight(v)
 			nbr, ew := g.Neighbors(v)
@@ -96,7 +105,8 @@ func labelPropagationClustering(g *graph.Graph, rng *rand.Rand, maxClusterWeight
 		}
 	}
 	// Compact cluster ids.
-	remap := make([]int32, n)
+	remap := graph.Resize(sc.remap, n)
+	sc.remap = remap
 	for i := range remap {
 		remap[i] = -1
 	}
@@ -114,12 +124,13 @@ func labelPropagationClustering(g *graph.Graph, rng *rand.Rand, maxClusterWeight
 
 // clusterCoarsen contracts one level of label-propagation clusters,
 // bounding cluster weights so no coarse vertex outgrows the block limit.
-func clusterCoarsen(g *graph.Graph, rng *rand.Rand, maxBlockWeight int64) ([]int32, int) {
+// The assignment is written into cluster (grown as needed).
+func (sc *Scratch) clusterCoarsen(g *graph.Graph, rng *rand.Rand, maxBlockWeight int64, cluster []int32) ([]int32, int) {
 	// Clusters capped well below the block limit keep the coarsest level
 	// partitionable.
 	cap := maxBlockWeight / 4
 	if cap < 2 {
 		cap = 2
 	}
-	return labelPropagationClustering(g, rng, cap, 3)
+	return sc.labelPropagation(g, rng, cap, 3, cluster)
 }

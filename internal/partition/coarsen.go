@@ -6,37 +6,48 @@ import (
 	"repro/internal/graph"
 )
 
-// level is one rung of the multilevel hierarchy: the coarse graph and the
-// mapping from the finer graph's vertices onto it.
+// level is one rung of a materialized multilevel hierarchy: the coarse
+// graph and the mapping from the finer graph's vertices onto it. The
+// hot path keeps its hierarchy in scratch storage (bLevel); this
+// snapshot form is produced by buildHierarchy for tests and external
+// inspection.
 type level struct {
 	g      *graph.Graph
 	coarse []int32 // finer vertex -> coarse vertex (nil at the finest level)
-	// side is this level's projected bisection during a V-cycle (nil
-	// outside V-cycles).
-	side []int32
 }
 
-// heavyEdgeMatching computes a matching that prefers heavy edges: visit
-// vertices in random order; match each unmatched vertex to its heaviest
-// unmatched neighbor (ties broken by smaller degree, which empirically
-// keeps coarse graphs sparser). Returns the fine→coarse map and the
-// coarse vertex count.
+// heavyEdgeMatching computes a matching that prefers heavy edges; see
+// Scratch.heavyEdgeMatchingGrouped. This standalone form allocates its
+// result and is kept for tests and external callers.
 func heavyEdgeMatching(g *graph.Graph, rng *rand.Rand, maxBlockWeight int64) ([]int32, int) {
 	return heavyEdgeMatchingGrouped(g, rng, maxBlockWeight, nil)
 }
 
-// heavyEdgeMatchingGrouped is heavyEdgeMatching restricted to pairs
-// within the same group (group == nil means unrestricted). V-cycles use
-// the current bisection as the group so contraction never crosses the
-// cut.
+// heavyEdgeMatchingGrouped is the allocating form of the grouped
+// matching: it runs on a private scratch and returns a fresh coarse map.
 func heavyEdgeMatchingGrouped(g *graph.Graph, rng *rand.Rand, maxBlockWeight int64, group []int32) ([]int32, int) {
+	sc := NewScratch()
+	coarse, nc := sc.heavyEdgeMatchingGrouped(g, rng, maxBlockWeight, group, nil)
+	return coarse, nc
+}
+
+// heavyEdgeMatchingGrouped computes a matching restricted to pairs
+// within the same group (group == nil means unrestricted): visit
+// vertices in random order; match each unmatched vertex to its heaviest
+// unmatched neighbor (ties broken by smaller degree, which empirically
+// keeps coarse graphs sparser). V-cycles use the current bisection as
+// the group so contraction never crosses the cut. The fine→coarse map
+// is written into coarse (grown as needed) and returned with the coarse
+// vertex count.
+func (sc *Scratch) heavyEdgeMatchingGrouped(g *graph.Graph, rng *rand.Rand, maxBlockWeight int64, group []int32, coarse []int32) ([]int32, int) {
 	n := g.N()
-	order := rng.Perm(n)
-	match := make([]int32, n)
+	sc.perm = permInto(rng, sc.perm, n)
+	match := graph.Resize(sc.match, n)
+	sc.match = match
 	for i := range match {
 		match[i] = -1
 	}
-	for _, v := range order {
+	for _, v := range sc.perm {
 		if match[v] >= 0 {
 			continue
 		}
@@ -68,7 +79,7 @@ func heavyEdgeMatchingGrouped(g *graph.Graph, rng *rand.Rand, maxBlockWeight int
 		}
 	}
 	// Assign coarse ids: one per matched pair / singleton.
-	coarse := make([]int32, n)
+	coarse = graph.Resize(coarse, n)
 	for i := range coarse {
 		coarse[i] = -1
 	}
@@ -86,27 +97,46 @@ func heavyEdgeMatchingGrouped(g *graph.Graph, rng *rand.Rand, maxBlockWeight int
 	return coarse, int(next)
 }
 
-// buildHierarchy coarsens g until it has at most coarsestSize vertices or
-// contraction stalls. The returned slice starts with the finest level
-// (coarse == nil) and ends with the coarsest graph.
-func buildHierarchy(g *graph.Graph, cfg Config, rng *rand.Rand, maxBlockWeight int64) []level {
-	levels := []level{{g: g}}
+// buildHierarchy coarsens g until it has at most coarsestSize vertices
+// or contraction stalls, storing every level in the scratch (level 0 is
+// g itself). Coarse graphs are contracted into reused CSR storage with
+// sorted adjacency, so they are identical to the ContractPairs-built
+// graphs of the allocating path. Returns the number of levels in use.
+func (sc *Scratch) buildHierarchy(g *graph.Graph, cfg Config, rng *rand.Rand, maxBlockWeight int64) int {
+	sc.level(0).g = g
+	nlev := 1
 	cur := g
 	for cur.N() > cfg.CoarsestSize {
-		var coarse []int32
+		lv := sc.level(nlev)
 		var nc int
 		if cfg.Coarsening == ClusterCoarsening {
-			coarse, nc = clusterCoarsen(cur, rng, maxBlockWeight)
+			lv.coarse, nc = sc.clusterCoarsen(cur, rng, maxBlockWeight, lv.coarse)
 		} else {
-			coarse, nc = heavyEdgeMatching(cur, rng, maxBlockWeight)
+			lv.coarse, nc = sc.heavyEdgeMatchingGrouped(cur, rng, maxBlockWeight, nil, lv.coarse)
 		}
 		if float64(nc) > 0.96*float64(cur.N()) {
 			break // contraction stalled; further levels would not shrink
 		}
-		next := cur.ContractPairs(coarse, nc)
-		levels = append(levels, level{g: next, coarse: coarse})
-		cur = next
+		sc.contractor.ContractSortedInto(lv.store, cur, lv.coarse, nc)
+		lv.g = lv.store
+		nlev++
+		cur = lv.g
 	}
+	return nlev
+}
+
+// buildHierarchy is the allocating snapshot form: it runs on a private
+// scratch and hands the levels out as independent values (the scratch
+// is not reused, so the aliased storage stays valid). Tests use it to
+// inspect coarsening behavior.
+func buildHierarchy(g *graph.Graph, cfg Config, rng *rand.Rand, maxBlockWeight int64) []level {
+	sc := NewScratch()
+	nlev := sc.buildHierarchy(g, cfg, rng, maxBlockWeight)
+	levels := make([]level, nlev)
+	for i := 0; i < nlev; i++ {
+		levels[i] = level{g: sc.levels[i].g, coarse: sc.levels[i].coarse}
+	}
+	levels[0].coarse = nil
 	return levels
 }
 
@@ -114,8 +144,6 @@ func buildHierarchy(g *graph.Graph, cfg Config, rng *rand.Rand, maxBlockWeight i
 // graph through the fine→coarse map.
 func projectPartition(coarse []int32, coarsePart []int32) []int32 {
 	fine := make([]int32, len(coarse))
-	for v, cv := range coarse {
-		fine[v] = coarsePart[cv]
-	}
+	projectInto(fine, coarse, coarsePart)
 	return fine
 }

@@ -1,8 +1,6 @@
 package partition
 
 import (
-	"container/heap"
-
 	"repro/internal/graph"
 )
 
@@ -10,34 +8,37 @@ import (
 // passes: each pass tentatively moves every vertex at most once in
 // best-gain-first order (subject to the weight window on side 0), then
 // rolls back to the best prefix seen. Passes repeat until one fails to
-// improve the cut or the pass budget is exhausted.
-func refineBisection(g *graph.Graph, side []int32, loL, hiL int64, maxPasses int) {
+// improve the cut or the pass budget is exhausted. All working storage
+// comes from the scratch.
+func (sc *Scratch) refineBisection(g *graph.Graph, side []int32, loL, hiL int64, maxPasses int) {
 	n := g.N()
-	gain := make([]int64, n)
-	moved := make([]bool, n)
-	moveLog := make([]int32, 0, n)
+	gain := graph.Resize(sc.gain, n)
+	moved := graph.Resize(sc.moved, n)
+	sc.gain, sc.moved = gain, moved
+	moveLog := sc.moveLog[:0]
+	h := sc.h
 
 	for pass := 0; pass < maxPasses; pass++ {
 		w0 := sideWeight(g, side)
 		// Initial gains; only boundary vertices can have gain > -wdeg, but
 		// all are movable, so seed the heap with boundary vertices and add
 		// others lazily as their gains change.
-		h := &gainHeap{}
+		h = h[:0]
 		for v := 0; v < n; v++ {
 			moved[v] = false
 			gain[v] = moveGain(g, side, v)
 			if isBoundary(g, side, v) {
-				h.Push(heapEntry{int32(v), gain[v]})
+				h = append(h, heapEntry{int32(v), gain[v]})
 			}
 		}
-		heap.Init(h)
+		h.init()
 
 		moveLog = moveLog[:0]
 		var cum, best int64
 		bestPrefix := 0
 
-		for h.Len() > 0 {
-			e := heap.Pop(h).(heapEntry)
+		for len(h) > 0 {
+			e := h.pop()
 			v := int(e.v)
 			if moved[v] || e.gain != gain[v] {
 				continue
@@ -75,7 +76,7 @@ func refineBisection(g *graph.Graph, side []int32, loL, hiL int64, maxPasses int
 				} else {
 					gain[u] += 2 * ew[i]
 				}
-				heap.Push(h, heapEntry{u, gain[u]})
+				h.push(heapEntry{u, gain[u]})
 			}
 		}
 		// Roll back everything after the best prefix.
@@ -87,6 +88,15 @@ func refineBisection(g *graph.Graph, side []int32, loL, hiL int64, maxPasses int
 			break
 		}
 	}
+	sc.h, sc.moveLog = h, moveLog
+}
+
+// refineBisection is the standalone form for tests and external
+// callers; it borrows a pooled scratch.
+func refineBisection(g *graph.Graph, side []int32, loL, hiL int64, maxPasses int) {
+	sc := getScratch()
+	sc.refineBisection(g, side, loL, hiL, maxPasses)
+	putScratch(sc)
 }
 
 // moveGain is the cut reduction from moving v to the other side:

@@ -12,25 +12,24 @@ import (
 // largest connectivity gain, subject to the balance limit. A few rounds
 // suffice after recursive bisection; the loop stops early when a round
 // makes no move.
-func kwayRefine(g *graph.Graph, part []int32, cfg Config, rng *rand.Rand) {
+func (sc *Scratch) kwayRefine(g *graph.Graph, part []int32, cfg Config, rng *rand.Rand) {
 	k := cfg.K
 	if k <= 1 {
 		return
 	}
 	limit := int64(math.Floor((1 + cfg.Epsilon) * float64(idealBlockWeight(g.TotalVertexWeight(), k))))
-	weights := BlockWeights(g, part, k)
+	weights := sc.blockWeightsInto(g, part, k)
 
 	// conn[b] holds v's connectivity to block b during the scan of v;
 	// stamp avoids clearing between vertices.
-	conn := make([]int64, k)
-	stamp := make([]int32, k)
+	conn, stamp := sc.stampedConn(k)
 	var curStamp int32
 
 	const rounds = 3
 	for round := 0; round < rounds; round++ {
-		order := rng.Perm(g.N())
+		sc.perm = permInto(rng, sc.perm, g.N())
 		movesMade := 0
-		for _, v := range order {
+		for _, v := range sc.perm {
 			pv := part[v]
 			nbr, ew := g.Neighbors(v)
 			curStamp++
@@ -92,13 +91,21 @@ func kwayRefine(g *graph.Graph, part []int32, cfg Config, rng *rand.Rand) {
 // its least-damaging boundary vertices to the lightest adjacent block
 // with room (falling back to the globally lightest block). With unit
 // vertex weights this always terminates with a balanced partition.
-func enforceBalance(g *graph.Graph, part []int32, cfg Config, rng *rand.Rand) {
+func (sc *Scratch) enforceBalance(g *graph.Graph, part []int32, cfg Config, rng *rand.Rand) {
 	k := cfg.K
 	if k <= 1 {
 		return
 	}
 	limit := int64(math.Floor((1 + cfg.Epsilon) * float64(idealBlockWeight(g.TotalVertexWeight(), k))))
-	weights := BlockWeights(g, part, k)
+	weights := sc.blockWeightsInto(g, part, k)
+
+	// targetW[b] accumulates v's external weight toward block b during
+	// the scan of v; targetOrder preserves first-seen order, because map
+	// iteration order here would make tie-breaks (and thus the whole
+	// partition) nondeterministic across runs. The stamp makes clearing
+	// between vertices O(touched blocks).
+	targetW, stamp := sc.stampedConn(k)
+	var curStamp int32
 
 	for iter := 0; iter < g.N(); iter++ {
 		over := int32(-1)
@@ -121,30 +128,31 @@ func enforceBalance(g *graph.Graph, part []int32, cfg Config, rng *rand.Rand) {
 			wv := g.VertexWeight(v)
 			nbr, ew := g.Neighbors(v)
 			var internal int64
-			// Accumulate per-target external weights in first-seen order:
-			// map iteration order would make tie-breaks (and thus the
-			// whole partition) nondeterministic across runs.
-			targets := map[int32]int64{}
-			var targetOrder []int32
+			curStamp++
+			targetOrder := sc.targetOrder[:0]
 			for i, u := range nbr {
 				if part[u] == over {
 					internal += ew[i]
 				} else {
-					if _, seen := targets[part[u]]; !seen {
-						targetOrder = append(targetOrder, part[u])
+					b := part[u]
+					if stamp[b] != curStamp {
+						stamp[b] = curStamp
+						targetW[b] = 0
+						targetOrder = append(targetOrder, b)
 					}
-					targets[part[u]] += ew[i]
+					targetW[b] += ew[i]
 				}
 			}
+			sc.targetOrder = targetOrder
 			for _, b := range targetOrder {
 				if weights[b]+wv > limit {
 					continue
 				}
-				if score := targets[b] - internal; score > bestScore {
+				if score := targetW[b] - internal; score > bestScore {
 					bestScore, bestV, bestB = score, v, b
 				}
 			}
-			if len(targets) == 0 || bestV < 0 {
+			if len(targetOrder) == 0 || bestV < 0 {
 				// Fall back to the lightest block anywhere.
 				lb := lightestBlock(weights, over)
 				if weights[lb]+wv <= limit {
@@ -162,6 +170,35 @@ func enforceBalance(g *graph.Graph, part []int32, cfg Config, rng *rand.Rand) {
 		weights[bestB] += wv
 		part[bestV] = bestB
 	}
+}
+
+// enforceBalance is the standalone form for tests and external
+// callers; it borrows a pooled scratch.
+func enforceBalance(g *graph.Graph, part []int32, cfg Config, rng *rand.Rand) {
+	sc := getScratch()
+	sc.enforceBalance(g, part, cfg, rng)
+	putScratch(sc)
+}
+
+// blockWeightsInto computes block weights into the scratch's weights
+// buffer (the arena form of BlockWeights).
+func (sc *Scratch) blockWeightsInto(g *graph.Graph, part []int32, k int) []int64 {
+	w := graph.Resize(sc.weights, k)
+	sc.weights = w
+	clear(w)
+	for v := 0; v < g.N(); v++ {
+		w[part[v]] += g.VertexWeight(v)
+	}
+	return w
+}
+
+// stampedConn returns the shared conn/stamp pair sized for n ids, with
+// the stamps cleared so a fresh stamping epoch can begin.
+func (sc *Scratch) stampedConn(n int) ([]int64, []int32) {
+	sc.conn = graph.Resize(sc.conn, n)
+	sc.stamp = graph.Resize(sc.stamp, n)
+	clear(sc.stamp)
+	return sc.conn, sc.stamp
 }
 
 func lightestBlock(weights []int64, exclude int32) int32 {

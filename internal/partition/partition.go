@@ -45,6 +45,11 @@ type Config struct {
 	// bisection is refined again at every level (KaHIP's V-cycle idea).
 	// Each cycle can only keep or lower the cut; 0 disables.
 	VCycles int
+	// Scratch, when non-nil, supplies the reusable buffers of the
+	// multilevel hot path (see Scratch). Results are byte-identical with
+	// or without it; nil borrows a scratch from a package pool. A
+	// Scratch must not be shared between concurrent calls.
+	Scratch *Scratch
 }
 
 func (c Config) withDefaults() Config {
@@ -84,7 +89,12 @@ func Partition(g *graph.Graph, cfg Config) (*Result, error) {
 	if int64(cfg.K) > g.TotalVertexWeight() {
 		return nil, fmt.Errorf("partition: K = %d exceeds total vertex weight %d", cfg.K, g.TotalVertexWeight())
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	sc := cfg.Scratch
+	if sc == nil {
+		sc = getScratch()
+		defer putScratch(sc)
+	}
+	rng := sc.seedRNG(cfg.Seed)
 	part := make([]int32, g.N())
 	// Per-bisection imbalance: compounding over ⌈log2 K⌉ levels must stay
 	// within the global ε; additionally each level needs some slack to
@@ -97,19 +107,22 @@ func Partition(g *graph.Graph, cfg Config) (*Result, error) {
 	if epsBis < 0.004 {
 		epsBis = 0.004
 	}
-	recursiveBisect(g, cfg, rng, part, 0, cfg.K, epsBis)
+	sc.recursiveBisect(g, cfg, rng, part, 0, cfg.K, epsBis, 0)
 
-	kwayRefine(g, part, cfg, rng)
-	enforceBalance(g, part, cfg, rng)
+	sc.kwayRefine(g, part, cfg, rng)
+	sc.enforceBalance(g, part, cfg, rng)
 
-	res := Evaluate(g, part, cfg.K)
+	res := &Result{Part: part, K: cfg.K}
+	sc.weights = graph.Resize(sc.weights, cfg.K)
+	evaluateInto(res, g, part, sc.weights)
 	return res, nil
 }
 
 // recursiveBisect splits g's vertices into blocks [base, base+k) writing
 // into part (which is indexed by g's vertex ids — callers pass induced
-// subgraphs along with an id translation).
-func recursiveBisect(g *graph.Graph, cfg Config, rng *rand.Rand, part []int32, base, k int, epsBis float64) {
+// subgraphs along with an id translation). depth indexes the scratch's
+// per-recursion-level subgraph storage.
+func (sc *Scratch) recursiveBisect(g *graph.Graph, cfg Config, rng *rand.Rand, part []int32, base, k int, epsBis float64, depth int) {
 	if k == 1 {
 		for v := 0; v < g.N(); v++ {
 			part[v] = int32(base)
@@ -119,9 +132,21 @@ func recursiveBisect(g *graph.Graph, cfg Config, rng *rand.Rand, part []int32, b
 	kL := k / 2
 	kR := k - kL
 	fracL := float64(kL) / float64(k)
-	side := multilevelBisect(g, cfg, rng, fracL, epsBis)
+	side := sc.multilevelBisect(g, cfg, rng, fracL, epsBis)
 
-	var left, right []int32
+	if kL == 1 && kR == 1 {
+		// Both halves are leaves: the side assignment is the partition
+		// (left = base, right = base+1); no subgraphs needed.
+		for v := 0; v < g.N(); v++ {
+			part[v] = int32(base) + side[v]
+		}
+		return
+	}
+
+	// All depth-state writes happen before recursing: deeper calls may
+	// grow sc.depths and invalidate the pointer.
+	ds := sc.depth(depth)
+	left, right := ds.left[:0], ds.right[:0]
 	for v := 0; v < g.N(); v++ {
 		if side[v] == 0 {
 			left = append(left, int32(v))
@@ -129,13 +154,15 @@ func recursiveBisect(g *graph.Graph, cfg Config, rng *rand.Rand, part []int32, b
 			right = append(right, int32(v))
 		}
 	}
-	gL, _ := g.InducedSubgraph(left)
-	gR, _ := g.InducedSubgraph(right)
+	gL, gR := ds.gL, ds.gR
+	sc.remap = graph.InducedSubgraphInto(gL, g, left, sc.remap)
+	sc.remap = graph.InducedSubgraphInto(gR, g, right, sc.remap)
+	partL := graph.Resize(ds.partL, gL.N())
+	partR := graph.Resize(ds.partR, gR.N())
+	ds.left, ds.right, ds.partL, ds.partR = left, right, partL, partR
 
-	partL := make([]int32, gL.N())
-	partR := make([]int32, gR.N())
-	recursiveBisect(gL, cfg, rng, partL, 0, kL, epsBis)
-	recursiveBisect(gR, cfg, rng, partR, 0, kR, epsBis)
+	sc.recursiveBisect(gL, cfg, rng, partL, 0, kL, epsBis, depth+1)
+	sc.recursiveBisect(gR, cfg, rng, partR, 0, kR, epsBis, depth+1)
 	for i, v := range left {
 		part[v] = int32(base) + partL[i]
 	}
@@ -148,6 +175,11 @@ func recursiveBisect(g *graph.Graph, cfg Config, rng *rand.Rand, part []int32, b
 // receives approximately frac of the total vertex weight, within the
 // configured epsilon on both sides. It exposes the multilevel bisection
 // used internally by recursive bisection; the DRB mapper builds on it.
+//
+// When cfg.Scratch is non-nil the returned slice aliases scratch
+// storage and is only valid until the scratch's next use; callers on
+// that path consume it immediately (as DRB does). With a nil Scratch
+// the result is freshly allocated.
 func PartitionProportional(g *graph.Graph, cfg Config, frac float64, seed int64) ([]int32, error) {
 	cfg = cfg.withDefaults()
 	if g.N() == 0 {
@@ -156,15 +188,30 @@ func PartitionProportional(g *graph.Graph, cfg Config, frac float64, seed int64)
 	if frac <= 0 || frac >= 1 {
 		return nil, fmt.Errorf("partition: fraction %g out of (0,1)", frac)
 	}
-	rng := rand.New(rand.NewSource(seed))
-	side := multilevelBisect(g, cfg, rng, frac, cfg.Epsilon)
-	return side, nil
+	sc := cfg.Scratch
+	if sc == nil {
+		sc = getScratch()
+		rng := sc.seedRNG(seed)
+		side := append([]int32(nil), sc.multilevelBisect(g, cfg, rng, frac, cfg.Epsilon)...)
+		putScratch(sc)
+		return side, nil
+	}
+	rng := sc.seedRNG(seed)
+	return sc.multilevelBisect(g, cfg, rng, frac, cfg.Epsilon), nil
 }
 
 // Evaluate computes cut and balance of a partition.
 func Evaluate(g *graph.Graph, part []int32, k int) *Result {
 	res := &Result{Part: part, K: k}
-	weights := make([]int64, k)
+	evaluateInto(res, g, part, make([]int64, k))
+	return res
+}
+
+// evaluateInto fills res.Cut/MaxBlock/Balance using weights (len K) as
+// scratch, so the warm Partition path evaluates without allocating.
+func evaluateInto(res *Result, g *graph.Graph, part []int32, weights []int64) {
+	clear(weights)
+	res.Cut = 0
 	for v := 0; v < g.N(); v++ {
 		weights[part[v]] += g.VertexWeight(v)
 		nbr, ew := g.Neighbors(v)
@@ -174,14 +221,14 @@ func Evaluate(g *graph.Graph, part []int32, k int) *Result {
 			}
 		}
 	}
+	res.MaxBlock = 0
 	for _, w := range weights {
 		if w > res.MaxBlock {
 			res.MaxBlock = w
 		}
 	}
-	ideal := idealBlockWeight(g.TotalVertexWeight(), k)
+	ideal := idealBlockWeight(g.TotalVertexWeight(), res.K)
 	res.Balance = float64(res.MaxBlock) / float64(ideal)
-	return res
 }
 
 // idealBlockWeight is ⌈W/K⌉ as in paper Eq. (1).

@@ -11,6 +11,7 @@ package topology
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bitvec"
 	"repro/internal/graph"
@@ -33,6 +34,12 @@ type Topology struct {
 	// not race with others.
 	indexOnce sync.Once
 	byLabel   map[bitvec.Label]int32
+
+	// dist is the lazily-built all-pairs distance table (nil for
+	// topologies beyond maxDistanceTablePEs), atomically published so
+	// PeekDistanceTable can read it without the once.
+	distOnce sync.Once
+	dist     atomic.Pointer[DistanceTable]
 }
 
 // P returns the number of processing elements.

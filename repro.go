@@ -69,6 +69,18 @@ type (
 	TimerScratch = core.Scratch
 	// PartitionResult reports a k-way partition with quality metrics.
 	PartitionResult = partition.Result
+	// PartitionScratch is the reusable arena of the multilevel
+	// partitioner; callers partitioning many graphs back to back pass
+	// one via PartitionConfig.Scratch (see partition.Config) to make
+	// the warm path allocation-free.
+	PartitionScratch = partition.Scratch
+	// PartitionConfig is the full multilevel-partitioner configuration
+	// (K, epsilon, seed, coarsening scheme, V-cycles, scratch).
+	PartitionConfig = partition.Config
+	// MappingScratch is the base-stage mapper arena: communication-graph
+	// contraction, greedy per-PE state and DRB recursion storage, with a
+	// PartitionScratch inside for DRB's bisections.
+	MappingScratch = mapping.Scratch
 	// DRBConfig configures the SCOTCH-style dual-recursive-bisection
 	// mapper.
 	DRBConfig = mapping.DRBConfig
@@ -132,6 +144,21 @@ func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
 // NewTimerScratch creates a reusable TIMER scratch arena (see
 // TimerOptions.Scratch).
 func NewTimerScratch() *TimerScratch { return core.NewScratch() }
+
+// NewPartitionScratch creates a reusable partitioner arena (see
+// PartitionConfig.Scratch).
+func NewPartitionScratch() *PartitionScratch { return partition.NewScratch() }
+
+// NewMappingScratch creates a reusable base-stage mapper arena; its
+// methods (CommGraph, GreedyAllC, GreedyMin, DRB) mirror the package
+// functions with scratch-backed, aliasing results.
+func NewMappingScratch() *MappingScratch { return mapping.NewScratch() }
+
+// PartitionWithConfig computes a partition with full control over the
+// multilevel configuration, including a reusable scratch.
+func PartitionWithConfig(g *Graph, cfg PartitionConfig) (*PartitionResult, error) {
+	return partition.Partition(g, cfg)
+}
 
 // NewEngine creates a concurrent mapping engine and starts its worker
 // pool. Close it when done. Submit/Wait/RunBatch run whole
