@@ -6,6 +6,14 @@
 //	mapbench -smoke -out BENCH_results.json       # CI-sized, < 60s
 //	mapbench -full -reps 5 -out BENCH_full.json   # paper-style tables
 //	mapbench -matrix my-matrix.json -seed 3       # custom matrix file
+//	mapbench -smoke -shared-partition             # one partition per rep,
+//	                                              # shared across cases
+//
+// Inspect the expansion without running (derived seeds, partition
+// sharing):
+//
+//	mapbench -smoke -list
+//	mapbench -smoke -shared-partition -list
 //
 // Gate against a baseline (nonzero exit on regression):
 //
@@ -34,6 +42,8 @@ func main() {
 		reps       = flag.Int("reps", 0, "override the matrix repetition count")
 		seed       = flag.Int64("seed", 0, "override the matrix seed")
 		workers    = flag.Int("workers", 0, "engine worker-pool size (default GOMAXPROCS)")
+		shared     = flag.Bool("shared-partition", false, "share one partition per rep across cases (paper-faithful; quality differs from the default baseline)")
+		list       = flag.Bool("list", false, "print the expanded matrix rows with derived seeds instead of running")
 		out        = flag.String("out", "", "write results to this JSON file")
 		baseline   = flag.String("baseline", "", "gate quality metrics against this results file; exit 1 on regression")
 		diffFile   = flag.String("diff", "", "compare this results file against -baseline instead of running")
@@ -42,11 +52,19 @@ func main() {
 	)
 	flag.Parse()
 
+	if *list {
+		if err := listRows(*matrixFile, *smoke, *full, *reps, *seed, *shared); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	results, err := obtainResults(*matrixFile, *smoke, *full, *diffFile, bench.RunOptions{
-		Workers:  *workers,
-		Reps:     *reps,
-		Seed:     *seed,
-		Progress: progress(*quiet),
+		Workers:         *workers,
+		Reps:            *reps,
+		Seed:            *seed,
+		SharedPartition: *shared,
+		Progress:        progress(*quiet),
 	})
 	if err != nil {
 		fatal(err)
@@ -104,6 +122,39 @@ func selectMatrix(matrixFile string, smoke, full bool) (bench.Spec, error) {
 	}
 }
 
+// listRows prints the fully-expanded matrix — one line per job with
+// its derived seeds and graph instance key — without running anything:
+// the ground truth for "which jobs share a partition artifact".
+func listRows(matrixFile string, smoke, full bool, reps int, seed int64, shared bool) error {
+	spec, err := selectMatrix(matrixFile, smoke, full)
+	if err != nil {
+		return err
+	}
+	if reps > 0 {
+		spec.Reps = reps
+	}
+	if seed != 0 {
+		spec.Seed = seed
+	}
+	if shared {
+		spec.SharedPartition = true
+	}
+	rows, skipped, err := bench.Rows(spec)
+	if err != nil {
+		return err
+	}
+	mode := "default"
+	if spec.SharedPartition {
+		mode = "shared-partition"
+	}
+	fmt.Printf("matrix %s (%s): %d jobs (%d cells skipped)\n", spec.Name, mode, len(rows), skipped)
+	fmt.Printf("%-4s %-45s %-24s %-3s %10s %14s\n", "#", "scenario", "graph", "rep", "seed", "partition_seed")
+	for i, r := range rows {
+		fmt.Printf("%-4d %-45s %-24s %-3d %10d %14d\n", i, r.Name, r.GraphKey, r.Rep, r.Seed, r.PartitionSeed)
+	}
+	return nil
+}
+
 func progress(quiet bool) func(string) {
 	if quiet {
 		return nil
@@ -129,6 +180,8 @@ func printSummary(r *bench.Results) {
 			r.Perf.WallSeconds, r.Perf.JobsPerSec, r.Perf.Workers)
 		fmt.Printf("  %.0f ns/job   %.0f allocs/job   %.0f bytes/job\n",
 			r.Perf.NsPerJob, r.Perf.AllocsPerJob, r.Perf.BytesPerJob)
+		fmt.Printf("  artifact hit rate %.2f   partitions %d computed / %d reused\n",
+			r.Perf.ArtifactHitRate, r.Perf.PartitionsComputed, r.Perf.PartitionsReused)
 	}
 	// Base-vs-enhancement split: the two stages this repository's hot
 	// paths target (PR 3 made TIMER allocation-free; the base stage got

@@ -18,6 +18,7 @@ import (
 //	POST /v1/batches       submit a batch (engine.BatchSpec JSON)
 //	GET  /v1/jobs          list all jobs
 //	GET  /v1/jobs/{id}     one job: status, stage timings, result
+//	                       (?wait=1 blocks until the job finishes)
 //	GET  /v1/topologies    topology cache contents + hit/miss stats
 //	GET  /v1/bench/matrices  canonical benchmark matrices (smoke, paper)
 //	GET  /v1/stats         runtime + pool statistics (goroutines, jobs served)
@@ -129,8 +130,24 @@ func (s *server) listJobs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": jobs})
 }
 
+// getJob returns one job's snapshot. With ?wait=1 it blocks until the
+// job finishes — bounded by the request context, so a client that
+// disconnects mid-job releases the handler goroutine immediately (the
+// job itself keeps running) instead of leaking it until job completion.
 func (s *server) getJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if v := r.URL.Query().Get("wait"); v == "1" || v == "true" {
+		job, err := s.eng.WaitCtx(r.Context(), id)
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusOK, job)
+		case r.Context().Err() != nil:
+			// Client gone; nothing useful can be written.
+		default:
+			writeError(w, http.StatusNotFound, err)
+		}
+		return
+	}
 	job, ok := s.eng.Get(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
@@ -160,7 +177,8 @@ func (s *server) benchMatrices(w http.ResponseWriter, r *http.Request) {
 // under load: goroutine count, heap footprint, worker-pool and queue
 // state, jobs served, cumulative per-stage seconds (the engine's
 // partition/map/enhance split — how much of the fleet's time goes to
-// the base stage vs TIMER), and topology-cache effectiveness.
+// the base stage vs TIMER), artifact-cache hit/miss/in-flight counters
+// (inside the engine block), and topology-cache effectiveness.
 func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 	var mem runtime.MemStats
 	runtime.ReadMemStats(&mem)

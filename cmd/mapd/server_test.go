@@ -282,3 +282,60 @@ func TestMapdBenchMatrices(t *testing.T) {
 		t.Errorf("served matrices %v, want smoke and paper", names)
 	}
 }
+
+// TestMapdWaitAndArtifactStats covers the blocking job fetch
+// (?wait=1) and the artifact-cache counters in /v1/stats: submitting
+// the same netgen job twice must report cache hits for the second
+// one's graph and partition artifacts.
+func TestMapdWaitAndArtifactStats(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	var first engine.Job
+	if code := postJSON(t, srv.URL+"/v1/jobs", jobBody, &first); code != http.StatusAccepted {
+		t.Fatalf("POST /v1/jobs: status %d", code)
+	}
+	var done engine.Job
+	if code := getJSON(t, srv.URL+"/v1/jobs/"+first.ID+"?wait=1", &done); code != http.StatusOK {
+		t.Fatalf("GET job ?wait=1: status %d", code)
+	}
+	if done.Status != engine.StatusDone {
+		t.Fatalf("waited job is %s (%s), want done", done.Status, done.Error)
+	}
+
+	var second engine.Job
+	if code := postJSON(t, srv.URL+"/v1/jobs", jobBody, &second); code != http.StatusAccepted {
+		t.Fatalf("POST /v1/jobs (2nd): status %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/v1/jobs/"+second.ID+"?wait=true", &done); code != http.StatusOK {
+		t.Fatalf("GET job ?wait=true: status %d", code)
+	}
+	if done.Status != engine.StatusDone {
+		t.Fatalf("second job is %s (%s), want done", done.Status, done.Error)
+	}
+	if done.Result == nil || !done.Result.PartitionReused {
+		t.Errorf("identical resubmission did not reuse the partition artifact: %+v", done.Result)
+	}
+
+	var stats struct {
+		Engine engine.Stats `json:"engine"`
+	}
+	if code := getJSON(t, srv.URL+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("GET /v1/stats: %d", code)
+	}
+	a := stats.Engine.Artifacts
+	if a == nil {
+		t.Fatal("artifact stats missing from /v1/stats engine block")
+	}
+	if a.Misses < 2 { // first job's graph + partition builds
+		t.Errorf("artifact misses = %d, want ≥ 2", a.Misses)
+	}
+	if a.Hits+a.InflightWaits < 2 { // second job's graph + partition
+		t.Errorf("artifact hits+inflight = %d+%d, want ≥ 2", a.Hits, a.InflightWaits)
+	}
+
+	// Waiting on an unknown job is a 404, not a hang.
+	var errBody map[string]any
+	if code := getJSON(t, srv.URL+"/v1/jobs/job-999999?wait=1", &errBody); code != http.StatusNotFound {
+		t.Fatalf("GET unknown job ?wait=1: status %d, want 404", code)
+	}
+}

@@ -69,6 +69,16 @@ func Compare(baseline, current *Results, tol float64) *Diff {
 	if tol < 0 {
 		tol = 0
 	}
+	// Shared-partition runs compute on different partitions than default
+	// runs, so their quality numbers are not comparable: gating one mode
+	// against the other's baseline would pass or fail on noise. The
+	// scenario names are identical across modes, so this must be an
+	// explicit check, not a naming convention.
+	if baseline.Spec.SharedPartition != current.Spec.SharedPartition {
+		return &Diff{Missing: []string{fmt.Sprintf(
+			"mode mismatch: baseline shared_partition=%v, current=%v — shared-mode results gate only against a shared-mode baseline",
+			baseline.Spec.SharedPartition, current.Spec.SharedPartition)}}
+	}
 	cur := make(map[string]*ScenarioResult, len(current.Scenarios))
 	for i := range current.Scenarios {
 		cur[current.Scenarios[i].Name] = &current.Scenarios[i]

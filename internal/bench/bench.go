@@ -70,6 +70,14 @@ type Spec struct {
 	Epsilon float64 `json:"epsilon,omitempty"`
 	// NumHierarchies is TIMER's NH (default 50).
 	NumHierarchies int `json:"num_hierarchies,omitempty"`
+	// SharedPartition runs the matrix in the engine's shared-partition
+	// mode: every job's partition seed derives from (matrix seed, rep)
+	// only, so the cases of one repetition compare on a single partition
+	// (the paper's experimental shape) and the engine's artifact cache
+	// computes it once. Quality metrics differ from the default matrix —
+	// shared-mode results gate against a shared-mode baseline, never
+	// against the default one.
+	SharedPartition bool `json:"shared_partition,omitempty"`
 }
 
 func (s Spec) withDefaults() Spec {
@@ -137,12 +145,9 @@ func (s Spec) Expand() ([]Scenario, int, error) {
 		if err != nil {
 			return fmt.Errorf("bench: matrix %q: %w", s.Name, err)
 		}
-		// Generate applies the same floor, so this predicts the real size.
-		n := int(float64(net.FullV) * scale)
-		if n < 64 {
-			n = 64
-		}
-		if n <= parsed.PEs() {
+		// ScaledV is Generate's own size target (clamp and floor included),
+		// so this predicts the real size without duplicating the formula.
+		if n := net.ScaledV(scale); n <= parsed.PEs() {
 			skipped++
 			return nil
 		}

@@ -36,6 +36,20 @@ func Smoke() Spec {
 	}
 }
 
+// SmokeShared returns the smoke matrix in shared-partition mode: the
+// same scenario grid, but every repetition's cases compare on a single
+// shared partition (the paper's experimental shape) served from the
+// engine's artifact cache. CI runs it alongside the default smoke
+// matrix to exercise the batch-level memoization path and track its
+// throughput; its quality metrics legitimately differ from the default
+// matrix's, so it is never gated against BENCH_baseline.json.
+func SmokeShared() Spec {
+	s := Smoke()
+	s.Name = "smoke-shared"
+	s.SharedPartition = true
+	return s
+}
+
 // Paper returns the full paper-style matrix: the Table 1 network suite
 // at full scale over the five Section 7 processor graphs, cases c1–c4,
 // five repetitions, NH = 50. Running it reproduces the shape of the
@@ -63,7 +77,7 @@ func Paper() Spec {
 }
 
 // Matrices lists the canonical matrices by name.
-func Matrices() []Spec { return []Spec{Smoke(), Paper()} }
+func Matrices() []Spec { return []Spec{Smoke(), SmokeShared(), Paper()} }
 
 // ByName returns the canonical matrix with the given name.
 func ByName(name string) (Spec, error) {
@@ -72,7 +86,7 @@ func ByName(name string) (Spec, error) {
 			return m, nil
 		}
 	}
-	return Spec{}, fmt.Errorf("bench: unknown matrix %q (want smoke or paper)", name)
+	return Spec{}, fmt.Errorf("bench: unknown matrix %q (want smoke, smoke-shared or paper)", name)
 }
 
 // LoadSpec reads a matrix spec from a JSON file.

@@ -57,6 +57,12 @@ type Perf struct {
 	StageSeconds map[string]metrics.Triple `json:"stage_seconds,omitempty"`
 	// JobSeconds is the end-to-end pipeline time per repetition.
 	JobSeconds metrics.Triple `json:"job_seconds"`
+	// PartitionsComputed counts repetitions that ran the multilevel
+	// partitioner; PartitionsReused counts repetitions served from the
+	// engine's artifact cache instead (shared-partition batches reuse,
+	// default batches mostly compute). DRB repetitions count in neither.
+	PartitionsComputed int `json:"partitions_computed,omitempty"`
+	PartitionsReused   int `json:"partitions_reused,omitempty"`
 }
 
 // ScenarioResult is the outcome of one matrix cell.
@@ -108,6 +114,15 @@ type RunPerf struct {
 	// bytes per job (runtime.MemStats Mallocs/TotalAlloc deltas).
 	AllocsPerJob float64 `json:"allocs_per_job"`
 	BytesPerJob  float64 `json:"bytes_per_job"`
+	// ArtifactHitRate is the fraction of the run's artifact-cache
+	// lookups (materialized graphs + partitions) served from cache or
+	// coalesced onto an in-flight build; 0 when the engine runs without
+	// a cache. PartitionsComputed/PartitionsReused split the run's
+	// partition stages into multilevel runs vs cache hits — in
+	// shared-partition mode the reused column dominates.
+	ArtifactHitRate    float64 `json:"artifact_hit_rate"`
+	PartitionsComputed int     `json:"partitions_computed"`
+	PartitionsReused   int     `json:"partitions_reused"`
 }
 
 // Results is the machine-readable outcome of one matrix run — the

@@ -21,6 +21,9 @@ type RunOptions struct {
 	Reps int
 	// Seed overrides the spec's seed when != 0.
 	Seed int64
+	// SharedPartition forces the spec into shared-partition mode (see
+	// Spec.SharedPartition); false leaves the spec's own setting.
+	SharedPartition bool
 	// Progress, when non-nil, receives one line per completed scenario.
 	Progress func(line string)
 	// Engine, when non-nil, runs the matrix on an existing engine
@@ -43,6 +46,9 @@ func Run(spec Spec, opt RunOptions) (*Results, error) {
 	}
 	if opt.Seed != 0 {
 		spec.Seed = opt.Seed
+	}
+	if opt.SharedPartition {
+		spec.SharedPartition = true
 	}
 	scenarios, skipped, err := spec.Expand()
 	if err != nil {
@@ -103,15 +109,20 @@ func Run(spec Spec, opt RunOptions) (*Results, error) {
 	// Allocation counters bracket the whole run: with the scenario graphs
 	// already generated above, the delta is dominated by the pipeline
 	// work the jobs perform, giving the allocs/op and bytes/op columns
-	// of the perf trajectory.
+	// of the perf trajectory. Artifact-cache counters bracket it the
+	// same way, giving the hit-rate column.
 	var memBefore runtime.MemStats
 	runtime.ReadMemStats(&memBefore)
+	var artBefore engine.ArtifactStats
+	if a := eng.Artifacts(); a != nil {
+		artBefore = a.Stats()
+	}
 
 	start := time.Now()
 	ids := make([]string, 0, total)
 	for _, sc := range scenarios {
 		for rep := 0; rep < spec.Reps; rep++ {
-			job, err := eng.Submit(engine.JobSpec{
+			js := engine.JobSpec{
 				Graph: engine.GraphSpec{
 					Network: sc.Network,
 					Scale:   sc.Scale,
@@ -123,7 +134,11 @@ func Run(spec Spec, opt RunOptions) (*Results, error) {
 				Epsilon:        spec.Epsilon,
 				Seed:           engine.BatchSeed(spec.Seed, rep, sc.Case),
 				NumHierarchies: spec.NumHierarchies,
-			})
+			}
+			if spec.SharedPartition {
+				js.PartitionSeed = engine.SharedPartitionSeed(spec.Seed, rep)
+			}
+			job, err := eng.Submit(js)
 			if err != nil {
 				// Drain what was already enqueued before failing: those
 				// jobs run regardless.
@@ -189,6 +204,19 @@ func Run(spec Spec, opt RunOptions) (*Results, error) {
 	var memAfter runtime.MemStats
 	runtime.ReadMemStats(&memAfter)
 
+	// Partition-reuse split across all finished jobs: a job either ran
+	// the multilevel partitioner or was served from the artifact cache
+	// (DRB jobs have no partition stage and count in neither column).
+	partComputed, partReused := 0, 0
+	for i := range res.Scenarios {
+		sr := &res.Scenarios[i]
+		if sr.Perf == nil {
+			continue
+		}
+		partComputed += sr.Perf.PartitionsComputed
+		partReused += sr.Perf.PartitionsReused
+	}
+
 	res.Summary = Summary{
 		Scenarios:       len(scenarios),
 		Skipped:         skipped,
@@ -204,12 +232,23 @@ func Run(spec Spec, opt RunOptions) (*Results, error) {
 		}
 	}
 	res.Perf = &RunPerf{
-		WallSeconds:  wall,
-		JobsPerSec:   float64(total) / wall,
-		Workers:      eng.Workers(),
-		NsPerJob:     wall * 1e9 / float64(total),
-		AllocsPerJob: float64(memAfter.Mallocs-memBefore.Mallocs) / float64(total),
-		BytesPerJob:  float64(memAfter.TotalAlloc-memBefore.TotalAlloc) / float64(total),
+		WallSeconds:        wall,
+		JobsPerSec:         float64(total) / wall,
+		Workers:            eng.Workers(),
+		NsPerJob:           wall * 1e9 / float64(total),
+		AllocsPerJob:       float64(memAfter.Mallocs-memBefore.Mallocs) / float64(total),
+		BytesPerJob:        float64(memAfter.TotalAlloc-memBefore.TotalAlloc) / float64(total),
+		PartitionsComputed: partComputed,
+		PartitionsReused:   partReused,
+	}
+	if a := eng.Artifacts(); a != nil {
+		artAfter := a.Stats()
+		delta := engine.ArtifactStats{
+			Hits:          artAfter.Hits - artBefore.Hits,
+			Misses:        artAfter.Misses - artBefore.Misses,
+			InflightWaits: artAfter.InflightWaits - artBefore.InflightWaits,
+		}
+		res.Perf.ArtifactHitRate = delta.HitRate()
 	}
 	return res, nil
 }
@@ -224,7 +263,18 @@ func fillScenario(sr *ScenarioResult, reps []*engine.JobResult, nh int) {
 	var cocoB, cocoA, cutB, cutA []int64
 	var dilB, dilA, imbB, imbA, kept, swaps, baseS, timerS, jobS []float64
 	stageS := make(map[string][]float64)
+	computed, reused := 0, 0
 	for _, r := range reps {
+		if r.PartitionReused {
+			reused++
+		} else {
+			for _, st := range r.Stages {
+				if st.Name == "partition" {
+					computed++
+					break
+				}
+			}
+		}
 		cocoB = append(cocoB, r.CocoBefore)
 		cocoA = append(cocoA, r.CocoAfter)
 		cutB = append(cutB, r.CutBefore)
@@ -275,6 +325,8 @@ func fillScenario(sr *ScenarioResult, reps []*engine.JobResult, nh int) {
 		TimerSeconds:        metrics.Summarize(timerS),
 		TimerNsPerHierarchy: metrics.Summarize(nsPerH),
 		JobSeconds:          metrics.Summarize(jobS),
+		PartitionsComputed:  computed,
+		PartitionsReused:    reused,
 	}
 	if len(stageS) > 0 {
 		p.StageSeconds = make(map[string]metrics.Triple, len(stageS))

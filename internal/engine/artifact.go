@@ -1,0 +1,314 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// ArtifactCache memoizes expensive pipeline artifacts under
+// content-addressed keys: materialized graphs (netgen generation keyed
+// by canonical spec) and multilevel partitions (keyed by graph
+// fingerprint, block count, imbalance and partition seed). It is the
+// batch-level complement of the per-worker scratch arenas — the arenas
+// make each stage allocation-free, the artifact cache eliminates whole
+// redundant stages across jobs that ask for the same artifact.
+//
+// Three properties matter for correctness:
+//
+//   - values are immutable once published: a cached *graph.Graph or
+//     *partition.Result is shared read-only by every job that hits it
+//     (the pipeline's consumers copy before mutating — FromPartition
+//     and Compose allocate fresh assignments), so eviction merely drops
+//     the cache's reference; holders keep theirs and never observe the
+//     backing arrays being reused;
+//   - single-flight coalescing: concurrent requests for the same key
+//     block on the first requester's computation instead of duplicating
+//     it, and each key's builder runs exactly once per residency;
+//   - failed builds are cached like the topology cache's: a
+//     deterministic failure (graph too small for K, say) keeps failing
+//     without re-running the build.
+//
+// The cache is bounded both by entry count and by the approximate byte
+// footprint of its values; eviction is LRU over fully-built entries.
+type ArtifactCache struct {
+	mu         sync.Mutex
+	entries    map[string]*artifactEntry
+	order      []string // least-recently-used first
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
+
+	hits          int64
+	misses        int64
+	inflightWaits int64
+	errorHits     int64
+	evictions     int64
+
+	// fps memoizes CSR fingerprints of caller-supplied graphs by
+	// pointer (see fingerprintOf).
+	fpMu sync.Mutex
+	fps  map[*graph.Graph]graph.Fingerprint
+}
+
+type artifactEntry struct {
+	key   string
+	ready chan struct{} // closed when val/err are set
+	val   any
+	bytes int64
+	err   error
+}
+
+// Artifact cache defaults: generous enough to hold a whole batch's
+// shared partitions at paper scale, small enough that an engine idling
+// after a huge run does not pin gigabytes.
+const (
+	defaultArtifactEntries = 1024
+	defaultArtifactBytes   = 256 << 20
+)
+
+// NewArtifactCache creates a cache bounded by maxEntries entries and
+// maxBytes of value footprint; zero values select the defaults.
+func NewArtifactCache(maxEntries int, maxBytes int64) *ArtifactCache {
+	if maxEntries <= 0 {
+		maxEntries = defaultArtifactEntries
+	}
+	if maxBytes <= 0 {
+		maxBytes = defaultArtifactBytes
+	}
+	return &ArtifactCache{
+		entries:    make(map[string]*artifactEntry),
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		fps:        make(map[*graph.Graph]graph.Fingerprint),
+	}
+}
+
+// maxFingerprintMemo bounds the pointer→fingerprint memo: an engine
+// churning through per-job inline graphs must not accumulate them, and
+// each memoized pointer pins its graph. 64 comfortably covers a
+// batch's working set of shared instances (the pre-artifact-cache
+// batch runner pinned the same graphs for its whole lifetime).
+const maxFingerprintMemo = 64
+
+// fingerprintOf returns g's 128-bit CSR fingerprint, memoized by
+// pointer: batches submit the same immutable *graph.Graph to every
+// rep and case, so the O(n+m) hash runs once per instance instead of
+// once per job. Keying by pointer is sound precisely because the map
+// holds the pointer — the graph stays reachable, so its address can
+// never be recycled for a different graph while the memo lives. At the
+// cap the memo resets wholesale (epoch clear) rather than tracking
+// recency; a stampede of first-time graphs merely recomputes.
+func (c *ArtifactCache) fingerprintOf(g *graph.Graph) graph.Fingerprint {
+	c.fpMu.Lock()
+	fp, ok := c.fps[g]
+	c.fpMu.Unlock()
+	if ok {
+		return fp
+	}
+	fp = g.Fingerprint() // outside the lock; concurrent first calls agree
+	c.fpMu.Lock()
+	if len(c.fps) >= maxFingerprintMemo {
+		clear(c.fps)
+	}
+	c.fps[g] = fp
+	c.fpMu.Unlock()
+	return fp
+}
+
+// do returns the cached value for key, or runs build exactly once to
+// produce it (concurrent callers for the same key wait for that one
+// build). size reports the value's footprint for byte-bounded eviction.
+func (c *ArtifactCache) do(key string, build func() (any, int64, error)) (any, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		inflight := false
+		select {
+		case <-e.ready:
+		default:
+			inflight = true
+		}
+		c.touchLocked(key)
+		c.mu.Unlock()
+		<-e.ready
+		// Classify the lookup only once the outcome is known: a cached
+		// *error* saved no stage work and must not inflate the hit rate —
+		// it gets its own counter. Successful waits on an in-flight build
+		// are the single-flight win, counted separately from plain hits.
+		c.mu.Lock()
+		switch {
+		case e.err != nil:
+			c.errorHits++
+		case inflight:
+			c.inflightWaits++
+		default:
+			c.hits++
+		}
+		c.mu.Unlock()
+		return e.val, e.err
+	}
+	e := &artifactEntry{key: key, ready: make(chan struct{})}
+	c.entries[key] = e
+	c.order = append(c.order, key)
+	c.misses++
+	c.mu.Unlock()
+
+	// publish closes ready and accounts the entry exactly once — also on
+	// a panicking build, which would otherwise leave a forever-pending
+	// entry that blocks every later requester of the key (the engine's
+	// runGuarded contains the panic for the building job itself, but the
+	// waiters and future hits must see a completed entry, not a hang).
+	publish := func() {
+		close(e.ready)
+		c.mu.Lock()
+		// The entry cannot have been evicted while building — evictLocked
+		// skips entries whose ready channel is still open — so the
+		// footprint accounting and the eviction sweep happen exactly once.
+		c.bytes += e.bytes
+		c.evictLocked()
+		c.mu.Unlock()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			e.val, e.bytes, e.err = nil, 0, fmt.Errorf("engine: artifact build for %q panicked: %v", key, r)
+			publish()
+			panic(r) // the building caller still observes its own panic
+		}
+	}()
+	e.val, e.bytes, e.err = build()
+	publish()
+	return e.val, e.err
+}
+
+// touchLocked refreshes key's recency. Caller holds c.mu.
+func (c *ArtifactCache) touchLocked(key string) {
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(append(c.order[:i], c.order[i+1:]...), key)
+			return
+		}
+	}
+}
+
+// evictLocked drops the least-recently-used fully-built entries while
+// either bound is exceeded. Entries still building are skipped: their
+// waiters must see the close of ready, and their footprint is unknown.
+// Caller holds c.mu.
+func (c *ArtifactCache) evictLocked() {
+	for len(c.order) > c.maxEntries || c.bytes > c.maxBytes {
+		evicted := false
+		for i, key := range c.order {
+			e := c.entries[key]
+			select {
+			case <-e.ready:
+				delete(c.entries, key)
+				c.order = append(c.order[:i], c.order[i+1:]...)
+				c.bytes -= e.bytes
+				c.evictions++
+				evicted = true
+			default:
+				continue
+			}
+			break
+		}
+		if !evicted {
+			return // everything resident is still building
+		}
+	}
+}
+
+// Graph returns the graph cached under key, building it on first use.
+func (c *ArtifactCache) Graph(key string, build func() (*graph.Graph, error)) (*graph.Graph, error) {
+	v, err := c.do(key, func() (any, int64, error) {
+		g, err := build()
+		if err != nil {
+			return nil, 0, err
+		}
+		return g, g.FootprintBytes(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	g, ok := v.(*graph.Graph)
+	if !ok {
+		return nil, fmt.Errorf("engine: artifact %q holds %T, not a graph", key, v)
+	}
+	return g, nil
+}
+
+// Partition returns the partition cached under key, building it on
+// first use. The second return reports whether the result came from the
+// cache (hit or coalesced onto another caller's in-flight build) rather
+// than from this caller's own build.
+func (c *ArtifactCache) Partition(key string, build func() (*partition.Result, error)) (*partition.Result, bool, error) {
+	var built bool
+	v, err := c.do(key, func() (any, int64, error) {
+		built = true
+		p, err := build()
+		if err != nil {
+			return nil, 0, err
+		}
+		// Part dominates; the struct's scalars are noise.
+		return p, int64(len(p.Part))*4 + 64, nil
+	})
+	if err != nil {
+		return nil, !built, err
+	}
+	p, ok := v.(*partition.Result)
+	if !ok {
+		return nil, !built, fmt.Errorf("engine: artifact %q holds %T, not a partition", key, v)
+	}
+	return p, !built, nil
+}
+
+// ArtifactStats is a point-in-time snapshot of the cache's counters,
+// served by mapd's GET /v1/stats and sampled by the bench harness for
+// the artifact_hit_rate column.
+type ArtifactStats struct {
+	Entries    int   `json:"entries"`
+	Bytes      int64 `json:"bytes"`
+	CapEntries int   `json:"cap_entries"`
+	CapBytes   int64 `json:"cap_bytes"`
+	// Hits counts lookups served a finished value; InflightWaits counts
+	// lookups coalesced onto a build in progress (the single-flight
+	// savings); ErrorHits counts lookups served a cached *error* — no
+	// stage work was saved, so they stay out of the hit rate; Misses
+	// counts builds (including failed ones); Evictions counts entries
+	// dropped by the LRU bounds.
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	InflightWaits int64 `json:"inflight_waits"`
+	ErrorHits     int64 `json:"error_hits,omitempty"`
+	Evictions     int64 `json:"evictions"`
+}
+
+// HitRate is (Hits+InflightWaits) / all value-producing lookups, or 0
+// before the first lookup. Error-serving lookups count in neither
+// numerator nor denominator: they saved nothing and would otherwise
+// report a batch of failures as a well-cached batch.
+func (s ArtifactStats) HitRate() float64 {
+	total := s.Hits + s.InflightWaits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.InflightWaits) / float64(total)
+}
+
+// Stats returns the cache's counters.
+func (c *ArtifactCache) Stats() ArtifactStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ArtifactStats{
+		Entries:       len(c.entries),
+		Bytes:         c.bytes,
+		CapEntries:    c.maxEntries,
+		CapBytes:      c.maxBytes,
+		Hits:          c.hits,
+		Misses:        c.misses,
+		InflightWaits: c.inflightWaits,
+		ErrorHits:     c.errorHits,
+		Evictions:     c.evictions,
+	}
+}

@@ -1,6 +1,11 @@
 package engine
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/netgen"
+)
 
 // BatchSpec fans a set of graphs out over a set of topologies: every
 // (graph, topology) pair becomes Reps jobs, all flowing through the
@@ -24,6 +29,16 @@ type BatchSpec struct {
 	NumHierarchies int     `json:"num_hierarchies,omitempty"`
 	TimerWorkers   int     `json:"timer_workers,omitempty"`
 
+	// SharedPartition derives every job's partition seed from (batch
+	// seed, rep) only — the paper's experimental shape, where cases
+	// c2–c4 of one repetition are compared on the *same* partition of
+	// the same graph and only the block→PE assignment differs. Combined
+	// with the engine's artifact cache this computes each repetition's
+	// partition once instead of once per case. Off by default: the
+	// committed default folds the case into every seed (BatchSeed), so
+	// existing batches stay byte-identical.
+	SharedPartition bool `json:"shared_partition,omitempty"`
+
 	// SkipTooSmall drops (graph, topology) pairs where the graph has no
 	// more vertices than the topology has PEs, instead of failing them.
 	SkipTooSmall bool `json:"skip_too_small,omitempty"`
@@ -35,6 +50,16 @@ type BatchSpec struct {
 // seeds.
 func BatchSeed(base int64, rep int, c Case) int64 {
 	return base + int64(rep)*7919 + int64(c.orDefault()-C1SCOTCH)*104729
+}
+
+// SharedPartitionSeed derives the case-independent partition seed of
+// repetition rep in SharedPartition mode. It equals BatchSeed's value
+// for c1 (case offset zero), so the shared partition of a rep is
+// exactly the one the default mode would compute for that rep's first
+// case — same seed algebra, minus the per-case spreading that the
+// paper's shared-partition comparison deliberately avoids.
+func SharedPartitionSeed(base int64, rep int) int64 {
+	return base + int64(rep)*7919
 }
 
 // SubmitBatch expands the batch into jobs and enqueues them all,
@@ -61,20 +86,47 @@ func (e *Engine) SubmitBatch(b BatchSpec) ([]string, error) {
 	}
 	var ids []string
 	for _, gs := range b.Graphs {
-		// Materialize each graph exactly once, shared by all its jobs:
-		// repetitions must vary only the pipeline seed, not the graph
-		// itself (a netgen spec without an explicit Seed would otherwise
-		// generate a different random graph per rep), and fanning one
-		// instance over topologies × reps must not re-run the generator
-		// or hold per-job copies. This matches the evaluation harness,
-		// which runs all reps on one fixed instance. The cost: batches
-		// naming paper-scale netgen graphs pay their generation
-		// synchronously at submit time.
-		ga, err := gs.materialize(seed)
-		if err != nil {
-			return ids, err
+		// Every job of a batch must compute on one graph instance:
+		// repetitions vary only the pipeline seed, never the graph (a
+		// netgen spec without an explicit Seed would otherwise generate a
+		// different random graph per rep). Pinning the batch seed into the
+		// spec fixes the instance; *how* it is shared then depends on the
+		// engine. With the artifact cache, named netgen specs are left
+		// unmaterialized — the workers' first jobs coalesce on one cached
+		// generation under the spec's canonical key, so submission stays
+		// fast even for paper-scale graphs. Without the cache, with
+		// inline/pre-built graphs, or under SkipTooSmall (which must see
+		// the realized size) the graph is materialized at submit time.
+		if gs.Seed == 0 {
+			gs.Seed = seed
 		}
-		gs.G = ga
+		// SkipTooSmall needs the realized vertex count (generation keeps
+		// only the largest component, so a predicted size could admit
+		// pairs that then fail instead of skipping), so it forces eager
+		// materialization — still through the artifact cache when one
+		// exists, so the instance is shared rather than re-pinned.
+		lazy := e.artifacts != nil && gs.G == nil && gs.Network != "" && !b.SkipTooSmall
+		if lazy {
+			// Deferring generation must not defer validation: a typo'd
+			// network name should fail the submission, not expand into a
+			// batch of identically-failing jobs.
+			if _, err := netgen.ByName(gs.Network); err != nil {
+				return ids, err
+			}
+		}
+		if !lazy && gs.G == nil {
+			var ga *graph.Graph
+			var err error
+			if key := gs.artifactKey(seed); e.artifacts != nil && key != "" {
+				ga, err = e.artifacts.Graph(key, func() (*graph.Graph, error) { return gs.materialize(seed) })
+			} else {
+				ga, err = gs.materialize(seed)
+			}
+			if err != nil {
+				return ids, err
+			}
+			gs.G = ga
+		}
 		for _, topoSpec := range b.Topologies {
 			skip := false
 			if b.SkipTooSmall {
@@ -82,14 +134,14 @@ func (e *Engine) SubmitBatch(b BatchSpec) ([]string, error) {
 				if err != nil {
 					return ids, err
 				}
-				skip = ga.N() <= topo.P()
+				skip = gs.G.N() <= topo.P()
 			}
 			for rep := 0; rep < reps; rep++ {
 				if skip {
 					ids = append(ids, "")
 					continue
 				}
-				job, err := e.Submit(JobSpec{
+				spec := JobSpec{
 					Graph:          gs,
 					Topology:       topoSpec,
 					Case:           b.Case,
@@ -97,7 +149,11 @@ func (e *Engine) SubmitBatch(b BatchSpec) ([]string, error) {
 					Seed:           BatchSeed(seed, rep, b.Case),
 					NumHierarchies: b.NumHierarchies,
 					TimerWorkers:   b.TimerWorkers,
-				})
+				}
+				if b.SharedPartition {
+					spec.PartitionSeed = SharedPartitionSeed(seed, rep)
+				}
+				job, err := e.Submit(spec)
 				if err != nil {
 					return ids, err
 				}

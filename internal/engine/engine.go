@@ -19,6 +19,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -53,6 +54,14 @@ type Options struct {
 	// engine's memory stays bounded under sustained traffic without
 	// dropping live work.
 	RetainJobs int
+	// ArtifactCacheEntries and ArtifactCacheBytes bound the engine's
+	// content-addressed artifact cache (materialized netgen graphs and
+	// multilevel partitions, shared across jobs with single-flight
+	// coalescing). Zero selects the defaults (1024 entries, 256 MiB);
+	// a negative ArtifactCacheEntries disables the cache entirely, so
+	// every job recomputes every stage (the pre-PR-5 behavior).
+	ArtifactCacheEntries int
+	ArtifactCacheBytes   int64
 }
 
 func (o Options) withDefaults() Options {
@@ -88,8 +97,9 @@ func (r *jobRecord) snapshot() Job {
 // freely (all methods are safe for concurrent use), and Close it when
 // done.
 type Engine struct {
-	opt   Options
-	cache *TopologyCache
+	opt       Options
+	cache     *TopologyCache
+	artifacts *ArtifactCache // nil when disabled via Options
 
 	mu      sync.Mutex
 	jobs    map[string]*jobRecord
@@ -133,6 +143,9 @@ func New(opt Options) *Engine {
 		pending:   make(chan *jobRecord, opt.QueueCap),
 		stageSecs: make(map[string]float64),
 	}
+	if opt.ArtifactCacheEntries >= 0 {
+		e.artifacts = NewArtifactCache(opt.ArtifactCacheEntries, opt.ArtifactCacheBytes)
+	}
 	e.wg.Add(opt.Workers)
 	for i := 0; i < opt.Workers; i++ {
 		go e.worker()
@@ -163,6 +176,10 @@ func (e *Engine) QueueDepth() int { return len(e.pending) }
 
 // Cache exposes the engine's topology cache (shared, read-mostly).
 func (e *Engine) Cache() *TopologyCache { return e.cache }
+
+// Artifacts exposes the engine's content-addressed artifact cache, or
+// nil when it was disabled via Options.
+func (e *Engine) Artifacts() *ArtifactCache { return e.artifacts }
 
 // Topology resolves a spec through the cache, building it on first use.
 func (e *Engine) Topology(spec string) (*topology.Topology, error) {
@@ -238,14 +255,28 @@ func (e *Engine) Get(id string) (Job, bool) {
 // Wait blocks until the job finishes (done or failed) and returns its
 // final snapshot.
 func (e *Engine) Wait(id string) (Job, error) {
+	return e.WaitCtx(context.Background(), id)
+}
+
+// WaitCtx blocks until the job finishes (done or failed) and returns
+// its final snapshot, or returns the context's error as soon as ctx is
+// canceled. The job itself keeps running either way — cancellation only
+// abandons this wait, so an HTTP handler waiting on behalf of a
+// disconnected client releases its goroutine instead of leaking it for
+// the rest of the job's runtime.
+func (e *Engine) WaitCtx(ctx context.Context, id string) (Job, error) {
 	e.mu.Lock()
 	rec, ok := e.jobs[id]
 	e.mu.Unlock()
 	if !ok {
 		return Job{}, fmt.Errorf("engine: unknown job %q", id)
 	}
-	<-rec.done
-	return rec.snapshot(), nil
+	select {
+	case <-rec.done:
+		return rec.snapshot(), nil
+	case <-ctx.Done():
+		return Job{}, ctx.Err()
+	}
 }
 
 // Jobs lists snapshots of all jobs in submission order.
@@ -269,7 +300,7 @@ func (e *Engine) Jobs() []Job {
 // timings are in the result's Stages field. Without a worker's scratch
 // the pipeline stages borrow arenas from their package pools.
 func (e *Engine) Run(spec JobSpec) (*JobResult, error) {
-	return runPipeline(spec, e.cache.Get, nil, nil)
+	return runPipeline(spec, e.cache.Get, nil, nil, e.artifacts)
 }
 
 // Stats is a point-in-time snapshot of the engine's pool state, served
@@ -291,6 +322,11 @@ type Stats struct {
 	// ("partition"/"drb"/"map" are the base stage, "enhance" is TIMER),
 	// so operators can watch the base-vs-enhancement split under load.
 	StageSeconds map[string]float64 `json:"stage_seconds,omitempty"`
+	// Artifacts snapshots the content-addressed artifact cache — how
+	// many materialized graphs and partitions are resident and how often
+	// jobs were served from it instead of recomputing. Nil when the
+	// cache is disabled.
+	Artifacts *ArtifactStats `json:"artifacts,omitempty"`
 }
 
 // Stats returns the engine's pool statistics.
@@ -304,7 +340,7 @@ func (e *Engine) Stats() Stats {
 		stages[name] = sec
 	}
 	e.stageMu.Unlock()
-	return Stats{
+	st := Stats{
 		Workers:      e.opt.Workers,
 		QueueDepth:   len(e.pending),
 		QueueCap:     e.opt.QueueCap,
@@ -313,6 +349,11 @@ func (e *Engine) Stats() Stats {
 		RetainCap:    e.opt.RetainJobs,
 		StageSeconds: stages,
 	}
+	if e.artifacts != nil {
+		as := e.artifacts.Stats()
+		st.Artifacts = &as
+	}
+	return st
 }
 
 func (e *Engine) worker() {
@@ -381,5 +422,5 @@ func (e *Engine) runGuarded(spec JobSpec, rec *jobRecord, ws *workerScratch) (re
 			rec.job.Stages = append(rec.job.Stages, Stage{Name: name, Seconds: seconds})
 		}
 		rec.mu.Unlock()
-	}, ws)
+	}, ws, e.artifacts)
 }

@@ -141,13 +141,17 @@ func TestConcurrentSubmissionsDeterministic(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
-	// Timings differ run to run; strip them before comparing.
+	// Timings differ run to run, and identical concurrent jobs race for
+	// who computes vs reuses the shared partition artifact; strip both
+	// kinds of provenance before comparing — the computed quality must
+	// be identical either way.
 	normalize := func(b []byte) []byte {
 		var r JobResult
 		if err := json.Unmarshal(b, &r); err != nil {
 			t.Fatal(err)
 		}
 		r.BaseSeconds, r.TimerSeconds, r.Stages = 0, 0, nil
+		r.PartitionReused = false
 		out, _ := json.Marshal(r)
 		return out
 	}
@@ -474,5 +478,51 @@ func TestStatsStageSeconds(t *testing.T) {
 	s.StageSeconds["enhance"] = -1
 	if e.Stats().StageSeconds["enhance"] <= 0 {
 		t.Error("Stats exposed internal stage map")
+	}
+}
+
+// TestBatchSkipTooSmallLazyNetgen pins the skip decision to the
+// *realized* vertex count for named netgen graphs too: generation
+// keeps only the largest component, so a predicted size could admit
+// borderline pairs that then fail instead of skipping.
+func TestBatchSkipTooSmallLazyNetgen(t *testing.T) {
+	e := New(Options{Workers: 2})
+	defer e.Close()
+	jobs, err := e.RunBatch(BatchSpec{
+		// Scale so small the spec collapses to the 64-vertex floor:
+		// realized N ≤ 64 can never outsize 256 PEs.
+		Graphs:         []GraphSpec{{Network: "p2p-Gnutella", Scale: 0.001}},
+		Topologies:     []string{"grid:4x4", "grid:16x16"},
+		Reps:           1,
+		NumHierarchies: 2,
+		SkipTooSmall:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs[0].Status != StatusDone {
+		t.Errorf("grid:4x4 job: %s (%s)", jobs[0].Status, jobs[0].Error)
+	}
+	if jobs[1].ID != "" {
+		t.Errorf("grid:16x16 job not skipped: %+v", jobs[1])
+	}
+}
+
+// TestBatchLazyValidatesNetworkName pins submit-time validation on the
+// lazy-materialization path: a typo'd network name must fail the batch
+// submission itself, not expand into per-job failures.
+func TestBatchLazyValidatesNetworkName(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer e.Close()
+	ids, err := e.SubmitBatch(BatchSpec{
+		Graphs:     []GraphSpec{{Network: "p2p-Gnutela", Scale: 0.05}}, // typo
+		Topologies: []string{"grid:4x4"},
+		Reps:       2,
+	})
+	if err == nil {
+		t.Fatal("batch with unknown network was accepted")
+	}
+	if len(ids) != 0 {
+		t.Errorf("%d jobs were enqueued before the validation failure", len(ids))
 	}
 }

@@ -82,23 +82,32 @@ func (c *Contractor) ContractInto(dst *Graph, g *Graph, coarse []int32, nCoarse 
 
 	cur := int32(0)
 	memberLo := int32(0)
+	var tew int64
 	for cv := 0; cv < nCoarse; cv++ {
 		dst.xadj[cv] = cur
 		memberHi := fill[cv]
+		stamp := int32(cv) + 1
 		for _, v := range c.mlist[memberLo:memberHi] {
 			lo, hi := g.xadj[v], g.xadj[v+1]
-			for i := lo; i < hi; i++ {
-				cu := coarse[g.adj[i]]
+			row, roww := g.adj[lo:hi], g.ew[lo:hi:hi]
+			for i, u := range row {
+				cu := coarse[u]
 				if int(cu) == cv {
 					continue
 				}
-				if c.seen[cu] == int32(cv)+1 {
-					dst.ew[c.pos[cu]] += g.ew[i]
+				w := roww[i]
+				// Each undirected coarse edge is visited from both rows;
+				// summing the heavier endpoint's half once counts it once.
+				if int(cu) > cv {
+					tew += w
+				}
+				if c.seen[cu] == stamp {
+					dst.ew[c.pos[cu]] += w
 				} else {
-					c.seen[cu] = int32(cv) + 1
+					c.seen[cu] = stamp
 					c.pos[cu] = cur
 					dst.adj[cur] = cu
-					dst.ew[cur] = g.ew[i]
+					dst.ew[cur] = w
 					cur++
 				}
 			}
@@ -111,14 +120,6 @@ func (c *Contractor) ContractInto(dst *Graph, g *Graph, coarse []int32, nCoarse 
 	dst.m = int(cur) / 2
 
 	dst.tvw = g.tvw // vertex weights are only regrouped, never changed
-	var tew int64
-	for cv := 0; cv < nCoarse; cv++ {
-		for i := dst.xadj[cv]; i < dst.xadj[cv+1]; i++ {
-			if int(dst.adj[i]) > cv {
-				tew += dst.ew[i]
-			}
-		}
-	}
 	dst.tew = tew
 }
 

@@ -1,0 +1,90 @@
+package graph
+
+import "fmt"
+
+// Fingerprint is a 128-bit content hash of a graph's CSR representation
+// (offsets, adjacency, edge weights, vertex weights, vertex and edge
+// counts). Two graphs with equal fingerprints are, for all practical
+// purposes, structurally identical — the engine's artifact cache uses
+// fingerprints as content-addressed keys for derived artifacts
+// (partitions of the graph), so a collision would silently serve one
+// graph's partition for another. 128 bits over two independently seeded
+// lanes keeps that probability negligible at any realistic cache size.
+type Fingerprint struct {
+	Hi, Lo uint64
+}
+
+// String renders the fingerprint as 32 hex digits.
+func (f Fingerprint) String() string { return fmt.Sprintf("%016x%016x", f.Hi, f.Lo) }
+
+// IsZero reports whether the fingerprint is the zero value (which no
+// non-empty graph produces).
+func (f Fingerprint) IsZero() bool { return f.Hi == 0 && f.Lo == 0 }
+
+// mix64 is the splitmix64 finalizer: a cheap full-avalanche bijection
+// on 64-bit words.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Fingerprint hashes the graph's full CSR content. It runs one pass
+// over every array (O(n + m) word mixes, no allocation) — fast enough
+// to compute per job on the engine's hot path; callers that hold a
+// graph across many jobs may still want to compute it once and reuse
+// it.
+func (g *Graph) Fingerprint() Fingerprint {
+	// Distinct lane seeds make Hi and Lo independent hashes of the same
+	// stream; structural counts are folded in first so graphs whose
+	// arrays merely concatenate identically cannot collide.
+	hi := mix64(0x1cebeef0ddf00d ^ uint64(g.N()))
+	lo := mix64(0x5eedfacecafe ^ uint64(g.M())<<1)
+	hi, lo = mixInt32s(hi, lo, g.xadj)
+	hi, lo = mixInt32s(hi, lo, g.adj)
+	hi, lo = mixInt64s(hi, lo, g.ew)
+	hi, lo = mixInt64s(hi, lo, g.vw)
+	return Fingerprint{Hi: mix64(hi), Lo: mix64(lo)}
+}
+
+// mixInt32s folds a word-length prefix plus pairs of int32s into both
+// lanes (two values per mix keeps the loop at one multiply chain per
+// 64 bits of input).
+func mixInt32s(hi, lo uint64, xs []int32) (uint64, uint64) {
+	hi = mix64(hi ^ uint64(len(xs)))
+	lo = mix64(lo ^ uint64(len(xs))<<32)
+	i := 0
+	for ; i+1 < len(xs); i += 2 {
+		w := uint64(uint32(xs[i])) | uint64(uint32(xs[i+1]))<<32
+		hi = mix64(hi ^ w)
+		lo = mix64(lo ^ (w + 0x9e3779b97f4a7c15))
+	}
+	if i < len(xs) {
+		w := uint64(uint32(xs[i]))
+		hi = mix64(hi ^ w)
+		lo = mix64(lo ^ (w + 0x9e3779b97f4a7c15))
+	}
+	return hi, lo
+}
+
+// mixInt64s folds a word-length prefix plus int64s into both lanes.
+func mixInt64s(hi, lo uint64, xs []int64) (uint64, uint64) {
+	hi = mix64(hi ^ uint64(len(xs)))
+	lo = mix64(lo ^ uint64(len(xs))<<32)
+	for _, x := range xs {
+		w := uint64(x)
+		hi = mix64(hi ^ w)
+		lo = mix64(lo ^ (w + 0x9e3779b97f4a7c15))
+	}
+	return hi, lo
+}
+
+// FootprintBytes returns the heap footprint of the graph's CSR arrays —
+// the size-accounting unit of the engine's artifact cache.
+func (g *Graph) FootprintBytes() int64 {
+	return int64(len(g.xadj))*4 + int64(len(g.adj))*4 +
+		int64(len(g.ew))*8 + int64(len(g.vw))*8
+}

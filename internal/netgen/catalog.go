@@ -58,18 +58,33 @@ func ByName(name string) (NetworkSpec, error) {
 // smaller scale so the whole suite runs in CI time (the quotients the
 // paper reports are size-relative, see DESIGN.md).
 func (s NetworkSpec) Generate(scale float64, seed int64) *graph.Graph {
+	n := s.ScaledV(scale)
 	if scale <= 0 || scale > 1 {
 		scale = 1
 	}
-	n := int(float64(s.FullV) * scale)
 	m := int(float64(s.FullE) * scale)
-	if n < 64 {
-		n = 64
-	}
 	if m < n {
 		m = n
 	}
 	return Generate(s.Model, n, m, seed)
+}
+
+// ScaledV returns the vertex-count target Generate uses at the given
+// scale (clamps and the 64-vertex floor included), so callers like the
+// bench matrix expansion can predict whether a scaled instance
+// outsizes a topology without generating it. The realized count can
+// come out slightly lower because Generate keeps only the largest
+// connected component — decisions that must be exact need the
+// generated graph's N.
+func (s NetworkSpec) ScaledV(scale float64) int {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	n := int(float64(s.FullV) * scale)
+	if n < 64 {
+		n = 64
+	}
+	return n
 }
 
 // SuiteOption restricts the generated suite.

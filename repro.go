@@ -102,10 +102,24 @@ type (
 	// JobResult is a finished job's outcome (Coco/cut before and after,
 	// stage times).
 	JobResult = engine.JobResult
-	// BatchSpec fans graphs out over topologies through the engine.
+	// BatchSpec fans graphs out over topologies through the engine. Its
+	// SharedPartition mode derives partition seeds from (base seed, rep)
+	// only, so cases c2–c4 of one repetition compare on a single shared
+	// partition (the paper's experimental shape).
 	BatchSpec = engine.BatchSpec
 	// Case selects the initial-mapping baseline c1–c4.
 	Case = engine.Case
+	// ArtifactCache is the engine's content-addressed memo of
+	// materialized graphs and partitions (single-flight, LRU-bounded);
+	// EngineOptions.ArtifactCacheEntries/ArtifactCacheBytes size it.
+	ArtifactCache = engine.ArtifactCache
+	// ArtifactCacheStats reports the artifact cache's hit/miss/in-flight
+	// counters (Engine.Stats().Artifacts, mapd GET /v1/stats).
+	ArtifactCacheStats = engine.ArtifactStats
+	// GraphFingerprint is a 128-bit content hash of a graph's CSR form —
+	// the artifact cache's key for caller-supplied graphs (see
+	// Graph.Fingerprint).
+	GraphFingerprint = graph.Fingerprint
 
 	// BenchSpec is a declarative benchmark matrix: networks ×
 	// topologies × mapper cases × repetitions.
@@ -171,6 +185,22 @@ func NewEngine(opt EngineOptions) *Engine { return engine.New(opt) }
 // family, finishing in well under a minute. Its quality metrics are the
 // repository's regression gate (BENCH_baseline.json).
 func SmokeBenchMatrix() BenchSpec { return bench.Smoke() }
+
+// SharedSmokeBenchMatrix returns the smoke matrix in shared-partition
+// mode: each repetition's cases compare on one shared partition served
+// from the engine's artifact cache (paper-faithful; quality differs
+// from the default smoke baseline).
+func SharedSmokeBenchMatrix() BenchSpec { return bench.SmokeShared() }
+
+// BatchSeed derives the per-rep, per-case job seed of a batch —
+// the seed algebra shared by the engine's batches and the bench
+// harness. SharedPartitionSeed is its case-independent counterpart
+// used by SharedPartition batches for the partition stage.
+func BatchSeed(base int64, rep int, c Case) int64 { return engine.BatchSeed(base, rep, c) }
+
+// SharedPartitionSeed derives the case-independent partition seed of
+// repetition rep in a SharedPartition batch.
+func SharedPartitionSeed(base int64, rep int) int64 { return engine.SharedPartitionSeed(base, rep) }
 
 // PaperBenchMatrix returns the full paper-style matrix: the Table 1
 // suite over the five Section 7 topologies, cases c1–c4, five
