@@ -15,6 +15,13 @@
 //	mapbench -smoke -list
 //	mapbench -smoke -shared-partition -list
 //
+// Bench real dataset files next to the generated networks (repeatable;
+// each file crosses the matrix's topologies and cases, rows report the
+// ingest wall time and peak-footprint estimate in their perf columns):
+//
+//	mapbench -smoke -graph ca-GrQc.txt -graph web-Google.mtx
+//	mapbench -smoke -graph ca-GrQc.txt -graph-lcc   # largest component only
+//
 // Gate against a baseline (nonzero exit on regression):
 //
 //	mapbench -smoke -out BENCH_results.json -baseline BENCH_baseline.json
@@ -49,17 +56,20 @@ func main() {
 		diffFile   = flag.String("diff", "", "compare this results file against -baseline instead of running")
 		tol        = flag.Float64("tol", 0.05, "relative tolerance of the baseline gate")
 		quiet      = flag.Bool("q", false, "suppress per-scenario progress")
+		graphLCC   = flag.Bool("graph-lcc", false, "restrict -graph datasets to their largest connected component")
 	)
+	var graphs stringList
+	flag.Var(&graphs, "graph", "add a real dataset file (SNAP/Matrix Market/METIS) as matrix cells; repeatable")
 	flag.Parse()
 
 	if *list {
-		if err := listRows(*matrixFile, *smoke, *full, *reps, *seed, *shared); err != nil {
+		if err := listRows(*matrixFile, *smoke, *full, *reps, *seed, *shared, graphs, *graphLCC); err != nil {
 			fatal(err)
 		}
 		return
 	}
 
-	results, err := obtainResults(*matrixFile, *smoke, *full, *diffFile, bench.RunOptions{
+	results, err := obtainResults(*matrixFile, *smoke, *full, *diffFile, graphs, *graphLCC, bench.RunOptions{
 		Workers:         *workers,
 		Reps:            *reps,
 		Seed:            *seed,
@@ -94,9 +104,15 @@ func main() {
 	}
 }
 
+// stringList is a repeatable string flag.
+type stringList []string
+
+func (s *stringList) String() string     { return fmt.Sprint([]string(*s)) }
+func (s *stringList) Set(v string) error { *s = append(*s, v); return nil }
+
 // obtainResults either loads an existing results file (-diff) or runs
 // the selected matrix.
-func obtainResults(matrixFile string, smoke, full bool, diffFile string, opt bench.RunOptions) (*bench.Results, error) {
+func obtainResults(matrixFile string, smoke, full bool, diffFile string, graphs []string, graphLCC bool, opt bench.RunOptions) (*bench.Results, error) {
 	if diffFile != "" {
 		return bench.ReadFile(diffFile)
 	}
@@ -104,7 +120,17 @@ func obtainResults(matrixFile string, smoke, full bool, diffFile string, opt ben
 	if err != nil {
 		return nil, err
 	}
+	addGraphCells(&spec, graphs, graphLCC)
 	return bench.Run(spec, opt)
+}
+
+// addGraphCells appends -graph dataset files to the matrix as file
+// cells; absent files still expand (and are skipped with a count), so a
+// stale path is visible rather than silently ignored.
+func addGraphCells(spec *bench.Spec, graphs []string, lcc bool) {
+	for _, path := range graphs {
+		spec.Files = append(spec.Files, bench.FileCell{Path: path, LargestComponent: lcc})
+	}
 }
 
 func selectMatrix(matrixFile string, smoke, full bool) (bench.Spec, error) {
@@ -125,11 +151,12 @@ func selectMatrix(matrixFile string, smoke, full bool) (bench.Spec, error) {
 // listRows prints the fully-expanded matrix — one line per job with
 // its derived seeds and graph instance key — without running anything:
 // the ground truth for "which jobs share a partition artifact".
-func listRows(matrixFile string, smoke, full bool, reps int, seed int64, shared bool) error {
+func listRows(matrixFile string, smoke, full bool, reps int, seed int64, shared bool, graphs []string, graphLCC bool) error {
 	spec, err := selectMatrix(matrixFile, smoke, full)
 	if err != nil {
 		return err
 	}
+	addGraphCells(&spec, graphs, graphLCC)
 	if reps > 0 {
 		spec.Reps = reps
 	}

@@ -4,12 +4,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/engine"
+	"repro/internal/ingest"
 )
 
 // server exposes an engine over HTTP:
@@ -19,6 +22,13 @@ import (
 //	GET  /v1/jobs          list all jobs
 //	GET  /v1/jobs/{id}     one job: status, stage timings, result
 //	                       (?wait=1 blocks until the job finishes)
+//	POST /v1/graphs        ingest a real-world graph: a JSON body
+//	                       {"path": ...} ingests server-side, any other
+//	                       body is the graph bytes themselves (SNAP /
+//	                       Matrix Market / METIS, auto-detected); returns
+//	                       the registration with its "ref" for job specs
+//	GET  /v1/graphs        list ingested graphs
+//	GET  /v1/graphs/{ref}  one ingested graph's registration
 //	GET  /v1/topologies    topology cache contents + hit/miss stats
 //	GET  /v1/bench/matrices  canonical benchmark matrices (smoke, paper)
 //	GET  /v1/stats         runtime + pool statistics (goroutines, jobs served)
@@ -39,6 +49,9 @@ func newServer(eng *engine.Engine, withPprof bool) http.Handler {
 	mux.HandleFunc("POST /v1/batches", s.submitBatch)
 	mux.HandleFunc("GET /v1/jobs", s.listJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
+	mux.HandleFunc("POST /v1/graphs", s.ingestGraph)
+	mux.HandleFunc("GET /v1/graphs", s.listGraphs)
+	mux.HandleFunc("GET /v1/graphs/{ref...}", s.getGraph)
 	mux.HandleFunc("GET /v1/topologies", s.topologies)
 	mux.HandleFunc("GET /v1/bench/matrices", s.benchMatrices)
 	mux.HandleFunc("GET /v1/stats", s.stats)
@@ -154,6 +167,113 @@ func (s *server) getJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, job)
+}
+
+// ingestRequest is the JSON form of POST /v1/graphs: a server-side
+// path ingest with optional loader tuning.
+type ingestRequest struct {
+	Path             string `json:"path"`
+	Format           string `json:"format,omitempty"`
+	Weights          string `json:"weights,omitempty"`
+	LargestComponent bool   `json:"largest_component,omitempty"`
+}
+
+func parseWeights(s string) (ingest.WeightMode, error) {
+	switch s {
+	case "", "auto":
+		return ingest.WeightAuto, nil
+	case "sum":
+		return ingest.WeightSum, nil
+	case "unit":
+		return ingest.WeightUnit, nil
+	default:
+		return 0, fmt.Errorf("unknown weights mode %q (want auto, sum or unit)", s)
+	}
+}
+
+// ingestGraph handles POST /v1/graphs. A JSON body ({"path": ...})
+// ingests a file the server can see; any other content type is treated
+// as the graph bytes themselves (the upload path), with loader options
+// in query parameters: ?name=, ?format=, ?weights=, ?largest_component=1.
+func (s *server) ingestGraph(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		var req ingestRequest
+		dec := json.NewDecoder(body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding ingest request: %w", err))
+			return
+		}
+		if req.Path == "" {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("ingest request needs a path (or POST the graph bytes directly)"))
+			return
+		}
+		opt, err := ingestOptions(req.Format, req.Weights, req.LargestComponent)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		info, err := s.eng.IngestPath(req.Path, opt)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]any{"graph": info})
+		return
+	}
+
+	q := r.URL.Query()
+	opt, err := ingestOptions(q.Get("format"), q.Get("weights"), q.Get("largest_component") == "1" || q.Get("largest_component") == "true")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	data, err := io.ReadAll(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading upload: %w", err))
+		return
+	}
+	if len(data) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty upload"))
+		return
+	}
+	info, dup, err := s.eng.IngestBytes(q.Get("name"), data, opt)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	status := http.StatusCreated
+	if dup {
+		status = http.StatusOK // already registered; nothing was created
+	}
+	writeJSON(w, status, map[string]any{"graph": info, "deduplicated": dup})
+}
+
+func ingestOptions(format, weights string, lcc bool) (ingest.Options, error) {
+	f, err := ingest.ParseFormat(format)
+	if err != nil {
+		return ingest.Options{}, err
+	}
+	wm, err := parseWeights(weights)
+	if err != nil {
+		return ingest.Options{}, err
+	}
+	return ingest.Options{Format: f, Weights: wm, LargestComponent: lcc}, nil
+}
+
+func (s *server) listGraphs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": s.eng.Graphs()})
+}
+
+func (s *server) getGraph(w http.ResponseWriter, r *http.Request) {
+	ref := r.PathValue("ref")
+	info, ok := s.eng.GraphInfo(ref)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown graph ref %q", ref))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"graph": info})
 }
 
 func (s *server) topologies(w http.ResponseWriter, r *http.Request) {

@@ -1,9 +1,11 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -337,5 +339,132 @@ func TestMapdWaitAndArtifactStats(t *testing.T) {
 	var errBody map[string]any
 	if code := getJSON(t, srv.URL+"/v1/jobs/job-999999?wait=1", &errBody); code != http.StatusNotFound {
 		t.Fatalf("GET unknown job ?wait=1: status %d, want 404", code)
+	}
+}
+
+// TestMapdGraphIngest is the ingest acceptance path: upload a real
+// graph file, run a job against its reference, observe the dedup +
+// artifact-cache hit on a second identical upload, and ingest the same
+// file server-side by path.
+func TestMapdGraphIngest(t *testing.T) {
+	srv, _ := newTestServer(t)
+	const fixture = "../../internal/ingest/testdata/ca-grqc-excerpt.txt"
+	data, err := os.ReadFile(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	upload := func(name string) (int, engine.GraphInfo, bool) {
+		resp, err := http.Post(srv.URL+"/v1/graphs?name="+name, "text/plain", bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body struct {
+			Graph        engine.GraphInfo `json:"graph"`
+			Deduplicated bool             `json:"deduplicated"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("decoding upload response: %v", err)
+		}
+		return resp.StatusCode, body.Graph, body.Deduplicated
+	}
+
+	code, info, dup := upload("ca-grqc.txt")
+	if code != http.StatusCreated || dup {
+		t.Fatalf("first upload: status %d dup %v", code, dup)
+	}
+	if !strings.HasPrefix(info.Ref, "upload:") || info.N != 90 || info.M != 203 {
+		t.Fatalf("upload registered as %+v", info)
+	}
+
+	// Run a job against the uploaded graph's reference.
+	var job engine.Job
+	spec := `{"graph": {"ref": "` + info.Ref + `"}, "topology": "grid:4x4", "case": "identity", "seed": 7, "num_hierarchies": 4}`
+	if code := postJSON(t, srv.URL+"/v1/jobs", spec, &job); code != http.StatusAccepted {
+		t.Fatalf("POST job by ref: status %d", code)
+	}
+	done := waitDone(t, srv, job.ID)
+	if done.Status != engine.StatusDone {
+		t.Fatalf("ref job %s (%s)", done.Status, done.Error)
+	}
+	if done.Result.GraphN != 90 || done.Result.GraphM != 203 {
+		t.Fatalf("ref job ran on n=%d m=%d", done.Result.GraphN, done.Result.GraphM)
+	}
+	if done.Result.CocoAfter > done.Result.CocoBefore {
+		t.Fatalf("TIMER worsened coco on ingested graph: %d -> %d", done.Result.CocoBefore, done.Result.CocoAfter)
+	}
+
+	// Second identical upload (different name): deduplicated, and served
+	// as an artifact-cache hit.
+	var statsBefore struct {
+		Engine engine.Stats `json:"engine"`
+	}
+	getJSON(t, srv.URL+"/v1/stats", &statsBefore)
+	code, info2, dup2 := upload("same-bytes-other-name.txt")
+	if code != http.StatusOK || !dup2 || info2.Ref != info.Ref {
+		t.Fatalf("second upload: status %d dup %v ref %q", code, dup2, info2.Ref)
+	}
+	var stats struct {
+		Engine engine.Stats `json:"engine"`
+	}
+	getJSON(t, srv.URL+"/v1/stats", &stats)
+	if stats.Engine.Artifacts == nil || statsBefore.Engine.Artifacts == nil {
+		t.Fatal("artifact stats missing")
+	}
+	if stats.Engine.Artifacts.Hits <= statsBefore.Engine.Artifacts.Hits {
+		t.Errorf("second identical upload was not an artifact-cache hit (hits %d -> %d)",
+			statsBefore.Engine.Artifacts.Hits, stats.Engine.Artifacts.Hits)
+	}
+	if stats.Engine.Ingest == nil || stats.Engine.Ingest.DedupHits != 1 || stats.Engine.Ingest.Ingested != 1 {
+		t.Errorf("ingest counters = %+v, want 1 ingested / 1 dedup", stats.Engine.Ingest)
+	}
+
+	// Server-side path ingest via JSON body.
+	var pathResp struct {
+		Graph engine.GraphInfo `json:"graph"`
+	}
+	if code := postJSON(t, srv.URL+"/v1/graphs", `{"path": "`+fixture+`"}`, &pathResp); code != http.StatusCreated {
+		t.Fatalf("POST path ingest: status %d", code)
+	}
+	if pathResp.Graph.Ref != "file:"+fixture {
+		t.Fatalf("path ingest ref %q", pathResp.Graph.Ref)
+	}
+	if pathResp.Graph.Fingerprint != info.Fingerprint {
+		t.Fatalf("path and upload fingerprints differ: %s vs %s", pathResp.Graph.Fingerprint, info.Fingerprint)
+	}
+
+	// Listing and single-ref lookup.
+	var list struct {
+		Graphs []engine.GraphInfo `json:"graphs"`
+	}
+	if code := getJSON(t, srv.URL+"/v1/graphs", &list); code != http.StatusOK || len(list.Graphs) != 2 {
+		t.Fatalf("GET /v1/graphs: status %d, %d entries", code, len(list.Graphs))
+	}
+	var one struct {
+		Graph engine.GraphInfo `json:"graph"`
+	}
+	if code := getJSON(t, srv.URL+"/v1/graphs/"+info.Ref, &one); code != http.StatusOK || one.Graph.Ref != info.Ref {
+		t.Fatalf("GET /v1/graphs/%s: status %d ref %q", info.Ref, code, one.Graph.Ref)
+	}
+	var errBody map[string]any
+	if code := getJSON(t, srv.URL+"/v1/graphs/upload:doesnotexist", &errBody); code != http.StatusNotFound {
+		t.Fatalf("GET unknown graph: status %d", code)
+	}
+
+	// Malformed ingests are 400s.
+	if code := postJSON(t, srv.URL+"/v1/graphs", `{"path": ""}`, &errBody); code != http.StatusBadRequest {
+		t.Fatalf("empty path: status %d", code)
+	}
+	if code := postJSON(t, srv.URL+"/v1/graphs", `{"path": "/no/such/file.txt"}`, &errBody); code != http.StatusBadRequest {
+		t.Fatalf("missing file: status %d", code)
+	}
+	resp, err := http.Post(srv.URL+"/v1/graphs", "text/plain", strings.NewReader("not a graph\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage upload: status %d", resp.StatusCode)
 	}
 }

@@ -31,6 +31,8 @@ package bench
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"repro/internal/engine"
 	"repro/internal/netgen"
@@ -60,6 +62,12 @@ type Spec struct {
 	// affordable as single cells. Their names must not collide with the
 	// cross product's.
 	ExtraCells []Cell `json:"extra_cells,omitempty"`
+	// Files adds cells over real dataset files (SNAP / Matrix Market /
+	// METIS, auto-detected): every file crosses the matrix's topologies
+	// and cases, ingested through the engine's registry at run time.
+	// Files that do not exist are skipped gracefully — the same matrix
+	// runs on machines with and without the datasets downloaded.
+	Files []FileCell `json:"files,omitempty"`
 	// Reps runs every cell this many times with derived seeds
 	// (default 1).
 	Reps int `json:"reps,omitempty"`
@@ -103,17 +111,35 @@ type Cell struct {
 	Case     string  `json:"case"`
 }
 
+// FileCell names one real dataset file of a matrix. Cells sharing a
+// path share one ingest (the first cell's options win).
+type FileCell struct {
+	// Path of the graph file; a missing path skips the cell's scenarios.
+	Path string `json:"path"`
+	// Name labels the scenarios (default: the path's base name).
+	Name string `json:"name,omitempty"`
+	// LargestComponent restricts the loaded graph to its largest
+	// connected component.
+	LargestComponent bool `json:"largest_component,omitempty"`
+}
+
 // Scenario is one expanded cell of a matrix: a (network, topology,
-// case) triple with a stable name used to match results across runs.
+// case) triple — or a (file, topology, case) triple for dataset-backed
+// cells — with a stable name used to match results across runs.
 type Scenario struct {
 	// Name is "network/topology/case", e.g.
-	// "p2p-Gnutella/grid:16x16/IDENTITY".
+	// "p2p-Gnutella/grid:16x16/IDENTITY" (dataset cells use the file
+	// cell's name in place of the network).
 	Name     string  `json:"name"`
-	Network  string  `json:"network"`
-	Scale    float64 `json:"scale"`
+	Network  string  `json:"network,omitempty"`
+	Scale    float64 `json:"scale,omitempty"`
 	Topology string  `json:"topology"`
 	// Case is the initial mapper (engine baseline name).
 	Case engine.Case `json:"case"`
+	// File is the dataset path behind a file-backed cell (Network is
+	// then empty); FileLCC mirrors the cell's LargestComponent option.
+	File    string `json:"file,omitempty"`
+	FileLCC bool   `json:"file_lcc,omitempty"`
 }
 
 // Expand validates the spec and unrolls it into scenarios, dropping
@@ -122,8 +148,8 @@ type Scenario struct {
 // runnable scenarios and the number of cells skipped as too small.
 func (s Spec) Expand() ([]Scenario, int, error) {
 	s = s.withDefaults()
-	if len(s.Networks) == 0 || len(s.Topologies) == 0 || len(s.Cases) == 0 {
-		return nil, 0, fmt.Errorf("bench: matrix %q needs at least one network, one topology and one case", s.Name)
+	if (len(s.Networks) == 0 && len(s.Files) == 0) || len(s.Topologies) == 0 || len(s.Cases) == 0 {
+		return nil, 0, fmt.Errorf("bench: matrix %q needs at least one network or file, one topology and one case", s.Name)
 	}
 	seen := make(map[string]bool)
 	var out []Scenario
@@ -184,6 +210,45 @@ func (s Spec) Expand() ([]Scenario, int, error) {
 		}
 		if err := expand(cell.Network, scale, cell.Topology, cell.Case); err != nil {
 			return nil, 0, err
+		}
+	}
+	for i, fc := range s.Files {
+		if fc.Path == "" {
+			return nil, 0, fmt.Errorf("bench: matrix %q: file cell %d has no path", s.Name, i)
+		}
+		name := fc.Name
+		if name == "" {
+			name = filepath.Base(fc.Path)
+		}
+		if _, err := os.Stat(fc.Path); err != nil {
+			// The dataset is not on this machine: skip its scenarios
+			// gracefully instead of failing the matrix.
+			skipped += len(s.Topologies) * len(s.Cases)
+			continue
+		}
+		for _, topoSpec := range s.Topologies {
+			parsed, err := topology.ParseSpec(topoSpec)
+			if err != nil {
+				return nil, 0, fmt.Errorf("bench: matrix %q: %w", s.Name, err)
+			}
+			for _, caseName := range s.Cases {
+				c, err := engine.ParseCase(caseName)
+				if err != nil {
+					return nil, 0, fmt.Errorf("bench: matrix %q: %w", s.Name, err)
+				}
+				sc := Scenario{
+					Name:     name + "/" + parsed.String() + "/" + c.String(),
+					Topology: parsed.String(),
+					Case:     c,
+					File:     fc.Path,
+					FileLCC:  fc.LargestComponent,
+				}
+				if seen[sc.Name] {
+					return nil, 0, fmt.Errorf("bench: matrix %q: duplicate scenario %q", s.Name, sc.Name)
+				}
+				seen[sc.Name] = true
+				out = append(out, sc)
+			}
 		}
 	}
 	if len(out) == 0 {

@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+const ingestFixture = "../ingest/testdata/ca-grqc-excerpt.txt"
+
+// TestFileCells runs a matrix whose cells are backed by a committed
+// dataset fixture: the file ingests through the engine, its jobs run by
+// reference, the perf rows report the ingest columns, and an absent
+// dataset skips gracefully instead of failing the matrix.
+func TestFileCells(t *testing.T) {
+	spec := Spec{
+		Name:       "file-cells",
+		Topologies: []string{"grid:4x4"},
+		Cases:      []string{"identity", "greedyallc"},
+		Files: []FileCell{
+			{Path: ingestFixture, Name: "ca-grqc"},
+			{Path: "testdata/does-not-exist.txt"},
+		},
+		Reps:           2,
+		Seed:           3,
+		NumHierarchies: 2,
+	}
+	scenarios, skipped, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scenarios) != 2 {
+		t.Fatalf("expanded to %d scenarios, want 2", len(scenarios))
+	}
+	if skipped != 2 { // the absent file's topology × case cells
+		t.Fatalf("skipped = %d, want 2", skipped)
+	}
+	if scenarios[0].Name != "ca-grqc/grid:4x4/IDENTITY" || scenarios[0].File != ingestFixture {
+		t.Fatalf("scenario[0] = %+v", scenarios[0])
+	}
+
+	res, err := Run(spec, RunOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Failed != 0 {
+		for _, sr := range res.Scenarios {
+			if sr.Error != "" {
+				t.Logf("%s: %s", sr.Name, sr.Error)
+			}
+		}
+		t.Fatalf("%d file scenarios failed", res.Summary.Failed)
+	}
+	if res.Summary.Skipped != 2 {
+		t.Fatalf("summary skipped = %d, want 2", res.Summary.Skipped)
+	}
+	for _, sr := range res.Scenarios {
+		if sr.GraphN != 90 || sr.GraphM != 203 {
+			t.Fatalf("%s ran on n=%d m=%d, want the fixture's 90/203", sr.Name, sr.GraphN, sr.GraphM)
+		}
+		if sr.Perf == nil {
+			t.Fatalf("%s has no perf block", sr.Name)
+		}
+		if sr.Perf.IngestSeconds <= 0 {
+			t.Errorf("%s: IngestSeconds = %g, want > 0", sr.Name, sr.Perf.IngestSeconds)
+		}
+		if sr.Perf.IngestPeakBytes <= 0 {
+			t.Errorf("%s: IngestPeakBytes = %d, want > 0", sr.Name, sr.Perf.IngestPeakBytes)
+		}
+		if sr.Quality == nil || sr.Quality.CocoQuotient.Mean > 1.0001 {
+			t.Errorf("%s: quality missing or TIMER worsened coco: %+v", sr.Name, sr.Quality)
+		}
+	}
+
+	// File-backed quality metrics are deterministic: a second run's
+	// stripped results are byte-identical.
+	res2, err := Run(spec, RunOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.StripPerf()
+	res2.StripPerf()
+	b1, err := res.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := res2.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("file-backed matrix is not deterministic across runs")
+	}
+}
+
+// TestFileCellsTooSmall: a dataset smaller than the topology is dropped
+// at run time, and a matrix left with nothing runnable errors out.
+func TestFileCellsTooSmall(t *testing.T) {
+	spec := Spec{
+		Name:       "file-too-small",
+		Topologies: []string{"grid:16x16"}, // 256 PEs > the fixture's 90 vertices
+		Cases:      []string{"identity"},
+		Files:      []FileCell{{Path: ingestFixture}},
+	}
+	if _, err := Run(spec, RunOptions{Workers: 1}); err == nil || !strings.Contains(err.Error(), "no runnable scenarios") {
+		t.Fatalf("want a no-runnable-scenarios error, got %v", err)
+	}
+}
+
+// TestFileCellCorruptFails: an existing-but-unparsable dataset fails
+// the run loudly (unlike an absent one, which skips).
+func TestFileCellCorruptFails(t *testing.T) {
+	bad := t.TempDir() + "/corrupt.mtx"
+	if err := os.WriteFile(bad, []byte("%%MatrixMarket matrix coordinate pattern general\n3 3 5\n1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{
+		Name:       "file-corrupt",
+		Topologies: []string{"grid:2x2"},
+		Cases:      []string{"identity"},
+		Files:      []FileCell{{Path: bad}},
+	}
+	if _, err := Run(spec, RunOptions{Workers: 1}); err == nil || !strings.Contains(err.Error(), "ingesting") {
+		t.Fatalf("want an ingest error, got %v", err)
+	}
+}

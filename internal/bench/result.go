@@ -63,6 +63,12 @@ type Perf struct {
 	// default batches mostly compute). DRB repetitions count in neither.
 	PartitionsComputed int `json:"partitions_computed,omitempty"`
 	PartitionsReused   int `json:"partitions_reused,omitempty"`
+	// IngestSeconds and IngestPeakBytes describe the one-time dataset
+	// ingest behind a file-backed scenario: the streaming loader's wall
+	// time and its arithmetic peak-footprint model (a peak-RSS
+	// estimate). Zero for generated networks.
+	IngestSeconds   float64 `json:"ingest_seconds,omitempty"`
+	IngestPeakBytes int64   `json:"ingest_peak_bytes,omitempty"`
 }
 
 // ScenarioResult is the outcome of one matrix cell.

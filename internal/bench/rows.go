@@ -45,6 +45,11 @@ func Rows(spec Spec) ([]Row, int, error) {
 				Seed:     engine.BatchSeed(spec.Seed, rep, sc.Case),
 				GraphKey: fmt.Sprintf("%s@%g#%d", sc.Network, sc.Scale, spec.Seed),
 			}
+			if sc.File != "" {
+				// Dataset cells are content-addressed, not seed-derived:
+				// the instance is the file itself.
+				r.GraphKey = "file:" + sc.File
+			}
 			if spec.SharedPartition {
 				r.PartitionSeed = engine.SharedPartitionSeed(spec.Seed, rep)
 			} else {

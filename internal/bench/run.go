@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/graph"
+	"repro/internal/ingest"
 	"repro/internal/metrics"
 	"repro/internal/netgen"
 )
@@ -73,6 +74,9 @@ func Run(spec Spec, opt RunOptions) (*Results, error) {
 	slots := make(map[string]**graph.Graph, len(spec.Networks))
 	var wg sync.WaitGroup
 	for _, sc := range scenarios {
+		if sc.File != "" {
+			continue // dataset cells ingest through the engine below
+		}
 		if _, ok := slots[instKey(sc)]; ok {
 			continue
 		}
@@ -106,6 +110,20 @@ func Run(spec Spec, opt RunOptions) (*Results, error) {
 		defer eng.Close()
 	}
 
+	// Ingest each dataset file once through the engine's registry; its
+	// scenarios then run by reference like any mapd client's. Cells whose
+	// loaded graph does not outsize the topology are dropped here (the
+	// generated cells had the same check at expansion, where the size was
+	// predictable without IO).
+	fileInfos := make(map[string]engine.GraphInfo)
+	if kept, dropped, err := ingestFileCells(eng, scenarios, fileInfos); err != nil {
+		return nil, err
+	} else {
+		scenarios = kept
+		skipped += dropped
+		total = len(scenarios) * spec.Reps
+	}
+
 	// Allocation counters bracket the whole run: with the scenario graphs
 	// already generated above, the delta is dominated by the pipeline
 	// work the jobs perform, giving the allocs/op and bytes/op columns
@@ -122,13 +140,17 @@ func Run(spec Spec, opt RunOptions) (*Results, error) {
 	ids := make([]string, 0, total)
 	for _, sc := range scenarios {
 		for rep := 0; rep < spec.Reps; rep++ {
+			gs := engine.GraphSpec{
+				Network: sc.Network,
+				Scale:   sc.Scale,
+				Seed:    spec.Seed,
+				G:       graphs[instKey(sc)],
+			}
+			if sc.File != "" {
+				gs = engine.GraphSpec{Ref: fileInfos[sc.File].Ref}
+			}
 			js := engine.JobSpec{
-				Graph: engine.GraphSpec{
-					Network: sc.Network,
-					Scale:   sc.Scale,
-					Seed:    spec.Seed,
-					G:       graphs[instKey(sc)],
-				},
+				Graph:          gs,
 				Topology:       sc.Topology,
 				Case:           sc.Case,
 				Epsilon:        spec.Epsilon,
@@ -191,6 +213,14 @@ func Run(spec Spec, opt RunOptions) (*Results, error) {
 			progress(fmt.Sprintf("FAIL %s: %v", sc.Name, firstErr))
 		} else {
 			fillScenario(&sr, reps, nh)
+			if sc.File != "" {
+				// The one-time ingest behind the scenario, from the
+				// engine's registration: wall time and the loader's
+				// peak-footprint model (the peak-RSS estimate).
+				ist := fileInfos[sc.File].Stats
+				sr.Perf.IngestSeconds = ist.LoadSeconds
+				sr.Perf.IngestPeakBytes = ist.PeakBytes
+			}
 			cocoQs = append(cocoQs, sr.Quality.CocoQuotient.Mean)
 			cutQs = append(cutQs, sr.Quality.CutQuotient.Mean)
 			cn := sc.Case.String()
@@ -251,6 +281,46 @@ func Run(spec Spec, opt RunOptions) (*Results, error) {
 		res.Perf.ArtifactHitRate = delta.HitRate()
 	}
 	return res, nil
+}
+
+// ingestFileCells loads every distinct dataset file behind the
+// scenarios through the engine's ingest registry, records the
+// registrations in infos (keyed by path), and returns the scenarios
+// that survive the size check (graph strictly larger than the
+// topology's PE count) plus the number dropped. A file that exists but
+// fails to parse fails the run: unlike an absent dataset, a corrupt one
+// is an error the operator must see.
+func ingestFileCells(eng *engine.Engine, scenarios []Scenario, infos map[string]engine.GraphInfo) ([]Scenario, int, error) {
+	kept := scenarios[:0]
+	dropped := 0
+	for _, sc := range scenarios {
+		if sc.File == "" {
+			kept = append(kept, sc)
+			continue
+		}
+		info, ok := infos[sc.File]
+		if !ok {
+			var err error
+			info, err = eng.IngestPath(sc.File, ingest.Options{LargestComponent: sc.FileLCC})
+			if err != nil {
+				return nil, 0, fmt.Errorf("bench: ingesting %s: %w", sc.File, err)
+			}
+			infos[sc.File] = info
+		}
+		topo, err := eng.Topology(sc.Topology)
+		if err != nil {
+			return nil, 0, fmt.Errorf("bench: %w", err)
+		}
+		if info.N <= topo.P() {
+			dropped++
+			continue
+		}
+		kept = append(kept, sc)
+	}
+	if len(kept) == 0 {
+		return nil, 0, fmt.Errorf("bench: no runnable scenarios remain (%d file cells too small)", dropped)
+	}
+	return kept, dropped, nil
 }
 
 // fillScenario aggregates the repetitions of one scenario into

@@ -182,6 +182,34 @@ func (c *ArtifactCache) do(key string, build func() (any, int64, error)) (any, e
 	return e.val, e.err
 }
 
+// Invalidate drops the fully-built entry under key, if any, so the
+// next request rebuilds it. Entries still building are left alone —
+// their waiters must observe the build's own outcome. The ingest layer
+// uses this to heal cached failures (a fixed input file, a re-upload
+// after eviction); pipeline artifacts never need it because their
+// builds are deterministic in the key.
+func (c *ArtifactCache) Invalidate(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return
+	}
+	select {
+	case <-e.ready:
+	default:
+		return // still building
+	}
+	delete(c.entries, key)
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	c.bytes -= e.bytes
+}
+
 // touchLocked refreshes key's recency. Caller holds c.mu.
 func (c *ArtifactCache) touchLocked(key string) {
 	for i, k := range c.order {

@@ -100,6 +100,16 @@ func (e *Engine) SubmitBatch(b BatchSpec) ([]string, error) {
 		if gs.Seed == 0 {
 			gs.Seed = seed
 		}
+		// Ingested references resolve through the registry once, up
+		// front: a bad ref fails the submission, and every job of the
+		// batch computes on the one resident instance.
+		if gs.Ref != "" && gs.G == nil {
+			ga, err := e.GraphByRef(gs.Ref)
+			if err != nil {
+				return ids, err
+			}
+			gs.G = ga
+		}
 		// SkipTooSmall needs the realized vertex count (generation keeps
 		// only the largest component, so a predicted size could admit
 		// pairs that then fail instead of skipping), so it forces eager

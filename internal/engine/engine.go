@@ -116,6 +116,12 @@ type Engine struct {
 	// view of the base-vs-TIMER split under load (served by /v1/stats).
 	stageMu   sync.Mutex
 	stageSecs map[string]float64
+
+	// ingestMu guards the ingest registry (references to loaded
+	// real-world graphs; see ingest.go) and its counters.
+	ingestMu    sync.Mutex
+	ingests     map[string]*ingestRecord
+	ingestStats IngestStats
 }
 
 // workerScratch bundles the per-worker-goroutine arenas of the whole
@@ -300,7 +306,7 @@ func (e *Engine) Jobs() []Job {
 // timings are in the result's Stages field. Without a worker's scratch
 // the pipeline stages borrow arenas from their package pools.
 func (e *Engine) Run(spec JobSpec) (*JobResult, error) {
-	return runPipeline(spec, e.cache.Get, nil, nil, e.artifacts)
+	return runPipeline(spec, e.cache.Get, e.GraphByRef, nil, nil, e.artifacts)
 }
 
 // Stats is a point-in-time snapshot of the engine's pool state, served
@@ -327,6 +333,10 @@ type Stats struct {
 	// jobs were served from it instead of recomputing. Nil when the
 	// cache is disabled.
 	Artifacts *ArtifactStats `json:"artifacts,omitempty"`
+	// Ingest snapshots the ingest registry and its counters. Nil until
+	// the first ingest, so engines that never load real-world graphs
+	// keep their stats payload unchanged.
+	Ingest *IngestStats `json:"ingest,omitempty"`
 }
 
 // Stats returns the engine's pool statistics.
@@ -352,6 +362,9 @@ func (e *Engine) Stats() Stats {
 	if e.artifacts != nil {
 		as := e.artifacts.Stats()
 		st.Artifacts = &as
+	}
+	if is, active := e.IngestSnapshot(); active {
+		st.Ingest = &is
 	}
 	return st
 }
@@ -409,7 +422,7 @@ func (e *Engine) runGuarded(spec JobSpec, rec *jobRecord, ws *workerScratch) (re
 			res, err = nil, fmt.Errorf("engine: job panicked: %v", r)
 		}
 	}()
-	return runPipeline(spec, e.cache.Get, func(name string, seconds float64) {
+	return runPipeline(spec, e.cache.Get, e.GraphByRef, func(name string, seconds float64) {
 		if seconds >= 0 {
 			e.stageMu.Lock()
 			e.stageSecs[name] += seconds

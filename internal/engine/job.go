@@ -107,9 +107,14 @@ func (c *Case) UnmarshalJSON(data []byte) error {
 }
 
 // GraphSpec names the application graph of a job. Exactly one source
-// must be set: a Table 1 network name (generated via netgen), an inline
-// edge list, or — for library callers — a pre-built graph.
+// must be set: a Table 1 network name (generated via netgen), a
+// reference to an ingested graph, an inline edge list, or — for
+// library callers — a pre-built graph.
 type GraphSpec struct {
+	// Ref names a previously ingested graph: "file:<path>" (server-side
+	// ingest) or "upload:<fingerprint>" (uploaded bytes). Resolved
+	// through the engine's ingest registry and artifact cache.
+	Ref string `json:"ref,omitempty"`
 	// Network is a netgen catalog name ("p2p-Gnutella", ...).
 	Network string `json:"network,omitempty"`
 	// Scale shrinks the generated network (default 1.0 = paper size).
@@ -134,8 +139,13 @@ type GraphSpec struct {
 // materialize's exclusivity check, and that per-request error must not
 // be cached under the canonical network key where it would poison
 // every future legitimate job naming the same instance.
+// Ingested references are also excluded here: their graphs already
+// live in the cache under "graph:<ref>" (the ingest layer put them
+// there), and their partitions are keyed by CSR fingerprint — the only
+// address that stays correct if the file behind a "file:" ref changes
+// and is explicitly re-ingested.
 func (gs GraphSpec) artifactKey(jobSeed int64) string {
-	if gs.G != nil || gs.Network == "" || len(gs.Edges) > 0 {
+	if gs.G != nil || gs.Ref != "" || gs.Network == "" || len(gs.Edges) > 0 {
 		return ""
 	}
 	scale := gs.Scale
@@ -158,12 +168,17 @@ func (gs GraphSpec) materialize(jobSeed int64) (*graph.Graph, error) {
 	// sources, however, are mutually exclusive — choosing one for a
 	// client that sent both would compute on a different graph than
 	// intended.
-	if gs.G == nil && gs.Network != "" && len(gs.Edges) > 0 {
-		return nil, fmt.Errorf("engine: graph spec sets both network and edges; want exactly one source")
+	if gs.G == nil && moreThanOne(gs.Ref != "", gs.Network != "", len(gs.Edges) > 0) {
+		return nil, fmt.Errorf("engine: graph spec sets more than one of ref, network and edges; want exactly one source")
 	}
 	switch {
 	case gs.G != nil:
 		return gs.G, nil
+	case gs.Ref != "":
+		// References resolve through the engine's ingest registry;
+		// runPipeline intercepts them before reaching here, so this only
+		// fires for contexts with no registry at all.
+		return nil, fmt.Errorf("engine: graph ref %q needs an engine to resolve it", gs.Ref)
 	case gs.Network != "":
 		spec, err := netgen.ByName(gs.Network)
 		if err != nil {
@@ -343,17 +358,31 @@ type Job struct {
 	Finished  time.Time `json:"finished,omitzero"`
 }
 
+// moreThanOne reports whether more than one of the flags is set.
+func moreThanOne(flags ...bool) bool {
+	n := 0
+	for _, f := range flags {
+		if f {
+			n++
+		}
+	}
+	return n > 1
+}
+
 // runPipeline executes the partition → initial mapping → TIMER pipeline
 // of one job. resolve supplies the topology (cache-backed for engine
-// jobs); stage is called before each step begins and receives the
-// step's duration after it ends, so callers can stream progress. ws,
-// when non-nil, carries the calling worker's reusable scratch arenas
-// (base stage + TIMER); without it, every stage borrows from its
-// package pool. arts, when non-nil, memoizes whole stages across jobs:
-// netgen graph materialization by canonical spec key and multilevel
-// partitions by (graph fingerprint, K, ε, partition seed), with
-// single-flight coalescing of concurrent identical requests.
+// jobs); resolveRef supplies ingested graphs by reference (nil when the
+// calling context has no ingest registry); stage is called before each
+// step begins and receives the step's duration after it ends, so
+// callers can stream progress. ws, when non-nil, carries the calling
+// worker's reusable scratch arenas (base stage + TIMER); without it,
+// every stage borrows from its package pool. arts, when non-nil,
+// memoizes whole stages across jobs: netgen graph materialization by
+// canonical spec key and multilevel partitions by (graph fingerprint,
+// K, ε, partition seed), with single-flight coalescing of concurrent
+// identical requests.
 func runPipeline(spec JobSpec, resolve func(string) (*topology.Topology, error),
+	resolveRef func(string) (*graph.Graph, error),
 	stage func(name string, seconds float64), ws *workerScratch, arts *ArtifactCache) (*JobResult, error) {
 	spec = spec.withDefaults()
 	if stage == nil {
@@ -387,6 +416,16 @@ func runPipeline(spec JobSpec, resolve func(string) (*topology.Topology, error),
 	graphKey := spec.Graph.artifactKey(spec.Seed)
 	if err := timed("graph", func() error {
 		var err error
+		if ref := spec.Graph.Ref; ref != "" && spec.Graph.G == nil {
+			if spec.Graph.Network != "" || len(spec.Graph.Edges) > 0 {
+				return fmt.Errorf("engine: graph spec sets more than one of ref, network and edges; want exactly one source")
+			}
+			if resolveRef == nil {
+				return fmt.Errorf("engine: graph ref %q needs an engine to resolve it", ref)
+			}
+			ga, err = resolveRef(ref)
+			return err
+		}
 		if arts != nil && graphKey != "" {
 			ga, err = arts.Graph(graphKey, func() (*graph.Graph, error) {
 				return spec.Graph.materialize(spec.Seed)

@@ -132,6 +132,14 @@ func ReadMETIS(r io.Reader) (*Graph, error) {
 				}
 				i++
 			}
+			if u-1 == v {
+				// The format cannot express self-loops and Builder would drop
+				// one silently, surfacing only as a confusing edge-count
+				// mismatch against the header. Name the real problem instead;
+				// inputs that legitimately carry self-loops go through the
+				// ingest normalizer, which drops and counts them.
+				return nil, fmt.Errorf("graph: vertex %d: self-loop (not representable in METIS input; use the ingest loader to normalize)", v+1)
+			}
 			if u-1 > v { // each undirected edge appears twice; add once
 				b.AddEdge(v, u-1, w)
 			}

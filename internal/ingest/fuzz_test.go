@@ -1,0 +1,82 @@
+package ingest
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// The fuzz targets pin the ingest robustness contract: arbitrary bytes
+// — malformed headers, truncated lines, huge declared sizes, giant ids
+// — must come back as an error, never a panic and never an
+// input-disproportionate allocation. LoadBytes scales its anti-OOM caps
+// with len(data), so a 40-byte header cannot demand gigabytes.
+
+func seedFile(f *testing.F, path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+}
+
+func fuzzLoad(t *testing.T, data []byte, format Format) *Result {
+	res, err := LoadBytes("fuzz-input", data, Options{Format: format, Workers: 2})
+	if err != nil {
+		return nil
+	}
+	if err := res.Graph.Validate(); err != nil {
+		t.Fatalf("accepted input produced invalid graph: %v", err)
+	}
+	if len(res.Remap) != res.Graph.N() {
+		t.Fatalf("remap length %d != n %d", len(res.Remap), res.Graph.N())
+	}
+	return res
+}
+
+func FuzzReadSNAP(f *testing.F) {
+	seedFile(f, "testdata/ca-grqc-excerpt.txt")
+	seedFile(f, "testdata/facebook-excerpt.txt")
+	f.Add([]byte("1 2\n2 3\n"))
+	f.Add([]byte("# comment\n18446744073709551615 1\n"))
+	f.Add([]byte("1 2 999999999999999999999\n"))
+	f.Add([]byte("5000000000 1\n"))
+	f.Add([]byte("1\t2\t3\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzLoad(t, data, FormatSNAP)
+	})
+}
+
+func FuzzReadMatrixMarket(f *testing.F) {
+	seedFile(f, "testdata/small.mtx")
+	seedFile(f, "testdata/weighted.mtx")
+	f.Add([]byte("%%MatrixMarket matrix coordinate pattern general\n3 3 1\n1 2\n"))
+	f.Add([]byte("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 1e308\n"))
+	f.Add([]byte("%%MatrixMarket matrix coordinate integer symmetric\n999999999 999999999 1\n1 2 1\n"))
+	f.Add([]byte("%%MatrixMarket matrix coordinate pattern general\n2 2 3\n1 2\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzLoad(t, data, FormatMatrixMarket)
+	})
+}
+
+func FuzzReadMETIS(f *testing.F) {
+	seedFile(f, "testdata/tiny.graph")
+	seedFile(f, "testdata/selfloop.graph")
+	f.Add([]byte("3 2\n2 3\n1\n2\n"))
+	f.Add([]byte("2 1 11\n9 2 3\n1 1 3\n"))
+	f.Add([]byte("999999999999 1\n"))
+	f.Add([]byte("3 2 1\n2\n1 2 3\n\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res := fuzzLoad(t, data, FormatMETIS)
+		// Cross-check against the strict package reader: when both
+		// accept, they must agree on the vertex count (weights can
+		// legitimately differ — ReadMETIS sums duplicate entries while
+		// the normalizer's WeightAuto collapses unweighted duplicates).
+		g, err := graph.ReadMETIS(bytes.NewReader(data))
+		if res != nil && err == nil && g.N() != res.Graph.N() {
+			t.Fatalf("ingest n=%d vs ReadMETIS n=%d", res.Graph.N(), g.N())
+		}
+	})
+}

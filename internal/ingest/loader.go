@@ -1,0 +1,568 @@
+package ingest
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// idIndex maps the input's vertex ids onto the contiguous 0..n-1 ids of
+// the CSR. SNAP ids are arbitrary non-contiguous int64s discovered from
+// the edges (sparse mode: hash map, first-seen order); Matrix Market
+// and METIS declare n up front with ids 1..n (dense mode: the identity,
+// no table at all).
+type idIndex struct {
+	dense  bool
+	denseN int64
+	sparse map[int64]int32
+	orig   []int64 // sparse mode: orig[v] = input id of CSR vertex v
+}
+
+func (ix *idIndex) n() int {
+	if ix.dense {
+		return int(ix.denseN)
+	}
+	return len(ix.orig)
+}
+
+// assign returns the CSR id of input id, allocating the next one on
+// first sight (pass 1 only).
+func (ix *idIndex) assign(id int64, maxVertices int) (int32, error) {
+	if ix.dense {
+		return int32(id), nil // format already range-checked against denseN
+	}
+	if v, ok := ix.sparse[id]; ok {
+		return v, nil
+	}
+	if len(ix.orig) >= maxVertices {
+		return 0, fmt.Errorf("ingest: more than %d distinct vertex ids", maxVertices)
+	}
+	v := int32(len(ix.orig))
+	ix.sparse[id] = v
+	ix.orig = append(ix.orig, id)
+	return v, nil
+}
+
+// lookup resolves an id pass 1 already assigned (pass 2; read-only, so
+// safe for concurrent fill workers).
+func (ix *idIndex) lookup(id int64) (int32, bool) {
+	if ix.dense {
+		return int32(id), true
+	}
+	v, ok := ix.sparse[id]
+	return v, ok
+}
+
+// remap renders the CSR-vertex → input-id table. Dense formats use
+// 1-based ids (METIS/MatrixMarket convention).
+func (ix *idIndex) remap() []int64 {
+	if ix.dense {
+		r := make([]int64, ix.denseN)
+		for i := range r {
+			r[i] = int64(i) + 1
+		}
+		return r
+	}
+	return ix.orig
+}
+
+// source is a re-readable input: the two-pass loader opens it once per
+// pass, and the parallel fill additionally reads byte ranges when at is
+// non-nil.
+type source struct {
+	name string // for format detection and errors
+	size int64  // -1 when unknown
+	open func() (io.ReadCloser, error)
+	at   io.ReaderAt // nil disables the chunked fill
+}
+
+// load runs the two-pass streaming build: pass 1 scans the input to
+// discover the vertex set and count degrees (plus self-loops), pass 2
+// re-scans it to fill the adjacency in place — there is never an
+// intermediate edge slice, so the peak footprint stays within ~1.3x of
+// the final CSR (see Options and Stats.PeakBytes). A normalization pass
+// then sorts each adjacency row, merges parallel edges and optionally
+// extracts the largest connected component.
+func load(src source, opt Options) (*Result, error) {
+	opt = opt.withDefaults(src.size)
+	f, err := resolveFormat(src, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	ix := &idIndex{}
+	var (
+		deg       []int32
+		vw        []int64
+		entries   int64
+		selfLoops int64
+		weighted  bool
+	)
+	pass1 := hooks{
+		header: func(n int64) error {
+			if n > int64(opt.MaxVertices) {
+				return fmt.Errorf("ingest: header declares %d vertices, over the cap of %d", n, opt.MaxVertices)
+			}
+			ix.dense, ix.denseN = true, n
+			deg = make([]int32, n)
+			return nil
+		},
+		edge: func(u, v, w int64, hasW bool) error {
+			entries++
+			if entries > opt.MaxEdges {
+				return fmt.Errorf("ingest: more than %d edge entries", opt.MaxEdges)
+			}
+			weighted = weighted || hasW
+			if u == v {
+				selfLoops++
+				return nil
+			}
+			iu, err := ix.assign(u, opt.MaxVertices)
+			if err != nil {
+				return err
+			}
+			iv, err := ix.assign(v, opt.MaxVertices)
+			if err != nil {
+				return err
+			}
+			if !ix.dense {
+				deg = growDeg(deg, int(max32(iu, iv)))
+			}
+			deg[iu]++
+			deg[iv]++
+			return nil
+		},
+		vweight: func(v, w int64) error {
+			if vw == nil {
+				vw = make([]int64, ix.denseN)
+				for i := range vw {
+					vw[i] = 1
+				}
+			}
+			vw[v] = w
+			return nil
+		},
+	}
+	if !ix.dense {
+		ix.sparse = make(map[int64]int32)
+	}
+	rc, err := src.open()
+	if err != nil {
+		return nil, err
+	}
+	dataOffset, err := f.scan(rc, pass1)
+	rc.Close()
+	if err != nil {
+		return nil, err
+	}
+
+	n := ix.n()
+	half := 2 * (entries - selfLoops)
+	if half > math.MaxInt32-int64(n) {
+		return nil, fmt.Errorf("ingest: %d half-edges exceed the CSR's int32 offsets", half)
+	}
+
+	// Offsets and fill cursors from the raw degree counts.
+	xadj := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		xadj[v+1] = xadj[v] + deg[v]
+	}
+	cursor := deg // reuse: overwrite with each row's start, advance while filling
+	for v := 0; v < n; v++ {
+		cursor[v] = xadj[v]
+	}
+	adj := make([]int32, half)
+	ew := make([]int64, half)
+
+	// Pass 2: fill the adjacency in place. Chunked workers split the
+	// input's data region at line boundaries when the source supports
+	// random access and the format's entries are line-independent;
+	// otherwise one sequential re-scan.
+	workers := opt.Workers
+	if !f.chunkable() || src.at == nil || src.size <= 0 {
+		workers = 1
+	}
+	var filled int64
+	if workers > 1 {
+		filled, err = fillChunked(src, f, ix, cursor, adj, ew, dataOffset, workers)
+	} else {
+		filled, err = fillSequential(src, f, ix, cursor, adj, ew)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if filled != entries {
+		return nil, fmt.Errorf("ingest: input changed between passes: %d entries, then %d", entries, filled)
+	}
+	for v := 0; v < n; v++ {
+		if cursor[v] != xadj[v+1] {
+			return nil, fmt.Errorf("ingest: input changed between passes: vertex %d filled %d of %d slots", v, cursor[v]-xadj[v], xadj[v+1]-xadj[v])
+		}
+	}
+
+	// Normalize: sort each row, merge parallel edges (weight-sum, or
+	// unit weight when the input carries none), compact.
+	unit := opt.Weights == WeightUnit || (opt.Weights == WeightAuto && !weighted)
+	newDeg := cursor // reuse again: rows are fully filled, cursors are spent
+	multi := normalizeRows(xadj, adj, ew, newDeg, unit, opt.Workers)
+	compact(xadj, adj, ew, newDeg)
+	adj = adj[:xadj[n]]
+	ew = ew[:xadj[n]]
+
+	if vw == nil {
+		vw = make([]int64, n)
+		for i := range vw {
+			vw[i] = 1
+		}
+	}
+	g, err := graph.FromCSR(xadj, adj, ew, vw)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: internal: %w", err)
+	}
+
+	res := &Result{
+		Graph: g,
+		Remap: ix.remap(),
+		Stats: Stats{
+			Format:     f.name(),
+			Entries:    entries,
+			SelfLoops:  selfLoops,
+			MultiEdges: multi,
+			PeakBytes:  peakEstimate(n, half, ix, workers),
+		},
+	}
+	res.Stats.Bytes = max64(src.size, 0)
+
+	if opt.LargestComponent {
+		lcc, oldToNew := g.LargestComponent()
+		if lcc != g {
+			remap := make([]int64, lcc.N())
+			for old, nv := range oldToNew {
+				if nv >= 0 {
+					remap[nv] = res.Remap[old]
+				}
+			}
+			_, ncomp := g.Components()
+			res.Stats.ComponentsDropped = ncomp - 1
+			res.Stats.VerticesDropped = g.N() - lcc.N()
+			res.Graph, res.Remap = lcc, remap
+		}
+	}
+	res.Fingerprint = res.Graph.Fingerprint()
+	return res, nil
+}
+
+// resolveFormat picks the parser: an explicit Options.Format wins,
+// otherwise the name and a small content sniff decide.
+func resolveFormat(src source, opt Options) (format, error) {
+	chosen := opt.Format
+	if chosen == FormatAuto {
+		var prefix []byte
+		if src.at != nil {
+			buf := make([]byte, len(mmMagic))
+			if m, _ := src.at.ReadAt(buf, 0); m > 0 {
+				prefix = buf[:m]
+			}
+		} else {
+			rc, err := src.open()
+			if err != nil {
+				return nil, err
+			}
+			buf := make([]byte, len(mmMagic))
+			m, _ := io.ReadFull(rc, buf)
+			rc.Close()
+			prefix = buf[:m]
+		}
+		chosen = DetectFormat(src.name, prefix)
+	}
+	return formatFor(chosen)
+}
+
+func growDeg(deg []int32, idx int) []int32 {
+	for idx >= len(deg) {
+		deg = append(deg, 0)
+	}
+	return deg
+}
+
+func fillSequential(src source, f format, ix *idIndex, cursor []int32, adj []int32, ew []int64) (int64, error) {
+	var entries int64
+	h := hooks{
+		header: func(int64) error { return nil }, // already sized in pass 1
+		edge: func(u, v, w int64, _ bool) error {
+			entries++
+			if u == v {
+				return nil
+			}
+			iu, ok1 := ix.lookup(u)
+			iv, ok2 := ix.lookup(v)
+			if !ok1 || !ok2 {
+				return fmt.Errorf("ingest: input changed between passes: unseen id")
+			}
+			pu := cursor[iu]
+			cursor[iu]++
+			adj[pu], ew[pu] = iv, w
+			pv := cursor[iv]
+			cursor[iv]++
+			adj[pv], ew[pv] = iu, w
+			return nil
+		},
+	}
+	rc, err := src.open()
+	if err != nil {
+		return 0, err
+	}
+	defer rc.Close()
+	if _, err := f.scan(rc, h); err != nil {
+		return 0, err
+	}
+	return entries, nil
+}
+
+// fillChunked splits [dataOffset, size) at line boundaries into one
+// byte range per worker and parses them concurrently with the format's
+// parseEntry. Every worker claims each half-edge slot with an atomic
+// increment of its vertex's cursor, so two workers never write the same
+// position; the normalizer's per-row sort then erases the (scheduling-
+// dependent) fill order, keeping the final CSR deterministic.
+func fillChunked(src source, f format, ix *idIndex, cursor []int32, adj []int32, ew []int64, dataOffset int64, workers int) (int64, error) {
+	bounds, err := chunkBounds(src.at, dataOffset, src.size, workers)
+	if err != nil {
+		return 0, err
+	}
+	var total atomic.Int64
+	errs := make([]error, len(bounds)-1)
+	var wg sync.WaitGroup
+	for i := 0; i+1 < len(bounds); i++ {
+		lo, hi := bounds[i], bounds[i+1]
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(slot int, lo, hi int64) {
+			defer wg.Done()
+			var entries int64
+			lr := newLineReader(io.NewSectionReader(src.at, lo, hi-lo))
+			for {
+				line, err := lr.next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					errs[slot] = err
+					return
+				}
+				u, v, w, _, skip, err := f.parseEntry(line)
+				if err != nil {
+					errs[slot] = err
+					return
+				}
+				if skip {
+					continue
+				}
+				entries++
+				if u == v {
+					continue
+				}
+				iu, ok1 := ix.lookup(u)
+				iv, ok2 := ix.lookup(v)
+				if !ok1 || !ok2 {
+					errs[slot] = fmt.Errorf("ingest: input changed between passes: unseen id")
+					return
+				}
+				pu := atomic.AddInt32(&cursor[iu], 1) - 1
+				adj[pu], ew[pu] = iv, w
+				pv := atomic.AddInt32(&cursor[iv], 1) - 1
+				adj[pv], ew[pv] = iu, w
+			}
+			total.Add(entries)
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return total.Load(), nil
+}
+
+// chunkBounds returns worker+1 offsets splitting [dataOffset, size)
+// with every boundary placed just after a newline, so no line straddles
+// two chunks.
+func chunkBounds(at io.ReaderAt, dataOffset, size int64, workers int) ([]int64, error) {
+	bounds := make([]int64, 0, workers+1)
+	bounds = append(bounds, dataOffset)
+	span := size - dataOffset
+	buf := make([]byte, 64<<10)
+	for i := 1; i < workers; i++ {
+		pos := dataOffset + span*int64(i)/int64(workers)
+		if pos <= bounds[len(bounds)-1] {
+			continue
+		}
+		b, err := nextNewline(at, pos, size, buf)
+		if err != nil {
+			return nil, err
+		}
+		if b > bounds[len(bounds)-1] {
+			bounds = append(bounds, b)
+		}
+	}
+	bounds = append(bounds, size)
+	return bounds, nil
+}
+
+// nextNewline returns the offset just past the first '\n' at or after
+// pos, or size when there is none.
+func nextNewline(at io.ReaderAt, pos, size int64, buf []byte) (int64, error) {
+	for pos < size {
+		want := int64(len(buf))
+		if size-pos < want {
+			want = size - pos
+		}
+		m, err := at.ReadAt(buf[:want], pos)
+		for i := 0; i < m; i++ {
+			if buf[i] == '\n' {
+				return pos + int64(i) + 1, nil
+			}
+		}
+		pos += int64(m)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, err
+		}
+	}
+	return size, nil
+}
+
+// rowSorter sorts one adjacency row's (neighbor, weight) pairs by
+// neighbor id. One value per normalize worker, reused across rows.
+type rowSorter struct {
+	adj []int32
+	ew  []int64
+}
+
+func (r *rowSorter) Len() int           { return len(r.adj) }
+func (r *rowSorter) Less(i, j int) bool { return r.adj[i] < r.adj[j] }
+func (r *rowSorter) Swap(i, j int) {
+	r.adj[i], r.adj[j] = r.adj[j], r.adj[i]
+	r.ew[i], r.ew[j] = r.ew[j], r.ew[i]
+}
+
+// normalizeRows sorts every adjacency row and merges duplicate
+// neighbors in place (weight-sum, or weight 1 when unit is set),
+// writing each row's merged length into newDeg. Returns the number of
+// undirected parallel edges merged away. Rows are independent, so the
+// work shards across workers by vertex range.
+func normalizeRows(xadj, adj []int32, ew []int64, newDeg []int32, unit bool, workers int) int64 {
+	n := len(newDeg)
+	if workers <= 1 || n < 1024 {
+		return normalizeRange(xadj, adj, ew, newDeg, unit, 0, n)
+	}
+	var multi atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := n * w / workers
+		hi := n * (w + 1) / workers
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			multi.Add(normalizeRange(xadj, adj, ew, newDeg, unit, lo, hi))
+		}(lo, hi)
+	}
+	wg.Wait()
+	return multi.Load()
+}
+
+func normalizeRange(xadj, adj []int32, ew []int64, newDeg []int32, unit bool, lo, hi int) int64 {
+	var multi int64
+	rs := &rowSorter{}
+	for v := lo; v < hi; v++ {
+		a, b := xadj[v], xadj[v+1]
+		rs.adj, rs.ew = adj[a:b], ew[a:b]
+		sort.Sort(rs)
+		out := 0
+		for i := 0; i < len(rs.adj); i++ {
+			if out > 0 && rs.adj[out-1] == rs.adj[i] {
+				rs.ew[out-1] += rs.ew[i]
+				// Count each merged undirected edge once (from its smaller
+				// endpoint's row).
+				if int(rs.adj[i]) > v {
+					multi++
+				}
+				continue
+			}
+			rs.adj[out] = rs.adj[i]
+			rs.ew[out] = rs.ew[i]
+			out++
+		}
+		if unit {
+			for i := 0; i < out; i++ {
+				rs.ew[i] = 1
+			}
+		}
+		newDeg[v] = int32(out)
+	}
+	return multi
+}
+
+// compact shifts the merged rows left into their final contiguous
+// positions and rewrites xadj. In place: destinations never overtake
+// sources, and the arrays keep their raw capacity (callers reslice).
+func compact(xadj, adj []int32, ew []int64, newDeg []int32) {
+	n := len(newDeg)
+	w := int32(0)
+	for v := 0; v < n; v++ {
+		a := xadj[v]
+		d := newDeg[v]
+		if a != w {
+			copy(adj[w:w+d], adj[a:a+d])
+			copy(ew[w:w+d], ew[a:a+d])
+		}
+		xadj[v] = w
+		w += d
+	}
+	xadj[n] = w
+}
+
+// peakEstimate is the loader's arithmetic peak-footprint model (in
+// bytes): CSR arrays at their raw pre-merge sizes, fill cursors, the id
+// table and the read buffers. It deliberately tracks the same
+// quantities the footprint regression test measures, so a loader change
+// that starts buffering edges shows up in both.
+func peakEstimate(n int, half int64, ix *idIndex, workers int) int64 {
+	est := int64(n+1)*4 + // xadj
+		int64(n)*4 + // deg/cursor
+		half*12 + // adj + ew at raw size
+		int64(n)*8 + // vw
+		int64(n)*8 // remap
+	if !ix.dense {
+		est += int64(n) * 48 // map[int64]int32 incl. bucket overhead
+	}
+	est += int64(workers+1) * (64 << 10) // read buffers
+	return est
+}
+
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -44,6 +44,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/graph"
+	"repro/internal/ingest"
 	"repro/internal/mapping"
 	"repro/internal/netgen"
 	"repro/internal/partition"
@@ -120,6 +121,21 @@ type (
 	// the artifact cache's key for caller-supplied graphs (see
 	// Graph.Fingerprint).
 	GraphFingerprint = graph.Fingerprint
+
+	// IngestOptions configures the real-world dataset loader (format,
+	// duplicate-edge weights, largest-component extraction, parallelism,
+	// anti-OOM size caps).
+	IngestOptions = ingest.Options
+	// IngestResult is a loaded, normalized graph with its id remap
+	// table, content fingerprint and load statistics.
+	IngestResult = ingest.Result
+	// IngestStats describes what one dataset load saw and did (entries,
+	// self-loops, parallel edges, wall time, peak-footprint estimate).
+	IngestStats = ingest.Stats
+	// GraphInfo is the engine's registration record of an ingested
+	// dataset (ref, fingerprint, sizes, ingest stats) — what mapd's
+	// /v1/graphs endpoints serve.
+	GraphInfo = engine.GraphInfo
 
 	// BenchSpec is a declarative benchmark matrix: networks ×
 	// topologies × mapper cases × repetitions.
@@ -227,8 +243,32 @@ func CompareBench(baseline, current *BenchResults, tol float64) *BenchDiff {
 // returns its canonical form — the engine's cache key.
 func ParseTopologySpec(spec string) (string, error) { return topology.Canonicalize(spec) }
 
-// ReadGraph loads a METIS/Chaco format graph file.
+// ReadGraph loads a METIS/Chaco format graph file. It rejects malformed
+// inputs (including self-loops, which the format cannot express); for
+// permissive, normalizing loads of real-world datasets — and for SNAP
+// edge lists or Matrix Market files — use LoadGraphFile.
 func ReadGraph(path string) (*Graph, error) { return graph.ReadMETISFile(path) }
+
+// LoadGraphFile ingests a real-world graph file (SNAP/edge-list,
+// Matrix Market or METIS, auto-detected by default) through the
+// two-pass streaming CSR loader: self-loops dropped, parallel edges
+// merged, ids remapped to a compact range, peak memory within a small
+// constant of the final CSR. The result carries the graph, the id
+// remap table, the content fingerprint and the load stats.
+//
+// Engines ingest datasets directly — Engine.IngestPath /
+// Engine.IngestBytes register a graph once and jobs reference it by
+// its ref ("file:<path>" / "upload:<fingerprint>") in
+// GraphSpec.Ref — which is also what mapd's POST /v1/graphs does.
+func LoadGraphFile(path string, opt IngestOptions) (*IngestResult, error) {
+	return ingest.LoadFile(path, opt)
+}
+
+// LoadGraphBytes is LoadGraphFile over an in-memory file image (name
+// only drives format auto-detection).
+func LoadGraphBytes(name string, data []byte, opt IngestOptions) (*IngestResult, error) {
+	return ingest.LoadBytes(name, data, opt)
+}
 
 // GenerateNetwork builds a synthetic stand-in for one of the paper's
 // Table 1 complex networks ("p2p-Gnutella", "as-skitter", ...) at the
