@@ -22,6 +22,14 @@
 //	mapbench -smoke -graph ca-GrQc.txt -graph web-Google.mtx
 //	mapbench -smoke -graph ca-GrQc.txt -graph-lcc   # largest component only
 //
+// Probe wide mode (one big TIMER-dominant job run sequentially and
+// then wide on an idle pool; byte-identical quality is asserted and
+// the wall-clock ratio lands in perf.wide_speedup — see the
+// "Concurrency & determinism" chapter of DESIGN.md):
+//
+//	mapbench -smoke -wide                 # probe with NumHierarchies 128
+//	mapbench -smoke -wide -wide-nh 512    # longer trial tail
+//
 // Gate against a baseline (nonzero exit on regression):
 //
 //	mapbench -smoke -out BENCH_results.json -baseline BENCH_baseline.json
@@ -57,6 +65,8 @@ func main() {
 		tol        = flag.Float64("tol", 0.05, "relative tolerance of the baseline gate")
 		quiet      = flag.Bool("q", false, "suppress per-scenario progress")
 		graphLCC   = flag.Bool("graph-lcc", false, "restrict -graph datasets to their largest connected component")
+		wide       = flag.Bool("wide", false, "also run the wide-mode probe (one big job, sequential vs wide; records perf.wide_speedup)")
+		wideNH     = flag.Int("wide-nh", 0, "NumHierarchies of the wide probe job (default 128)")
 	)
 	var graphs stringList
 	flag.Var(&graphs, "graph", "add a real dataset file (SNAP/Matrix Market/METIS) as matrix cells; repeatable")
@@ -78,6 +88,22 @@ func main() {
 	})
 	if err != nil {
 		fatal(err)
+	}
+
+	if *wide && *diffFile == "" {
+		probe, perr := bench.RunWideProbe(bench.WideProbe{
+			Workers:        *workers,
+			Seed:           *seed,
+			NumHierarchies: *wideNH,
+		}, progress(*quiet))
+		if perr != nil {
+			fatal(perr)
+		}
+		if results.Perf == nil {
+			results.Perf = &bench.RunPerf{}
+		}
+		results.Perf.WideSpeedup = probe.Speedup
+		results.Perf.WideWidth = probe.Width
 	}
 
 	if *out != "" {
@@ -209,6 +235,10 @@ func printSummary(r *bench.Results) {
 			r.Perf.NsPerJob, r.Perf.AllocsPerJob, r.Perf.BytesPerJob)
 		fmt.Printf("  artifact hit rate %.2f   partitions %d computed / %d reused\n",
 			r.Perf.ArtifactHitRate, r.Perf.PartitionsComputed, r.Perf.PartitionsReused)
+		if r.Perf.WideSpeedup > 0 {
+			fmt.Printf("  wide probe: %.2fx speedup at width %d\n",
+				r.Perf.WideSpeedup, r.Perf.WideWidth)
+		}
 	}
 	// Base-vs-enhancement split: the two stages this repository's hot
 	// paths target (PR 3 made TIMER allocation-free; the base stage got

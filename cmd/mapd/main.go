@@ -37,10 +37,12 @@ func main() {
 		queue     = flag.Int("queue", 0, "job queue capacity (0 = default)")
 		prewarm   = flag.String("prewarm", "", "comma-separated topology specs to build at boot ('paper' = the paper's five)")
 		withPprof = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+		wideThr   = flag.Float64("wide-threshold", 0, "pool-occupancy fraction below which jobs widen onto idle workers (0 = default 0.5, negative = only jobs with \"wide\": true)")
+		maxUpload = flag.Int64("max-upload", 0, "request-body / graph-upload size cap in bytes (0 = default 64 MiB)")
 	)
 	flag.Parse()
 
-	eng := engine.New(engine.Options{Workers: *workers, QueueCap: *queue})
+	eng := engine.New(engine.Options{Workers: *workers, QueueCap: *queue, WideThreshold: *wideThr})
 	defer eng.Close()
 
 	if *prewarm != "" {
@@ -61,7 +63,7 @@ func main() {
 	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(eng, *withPprof),
+		Handler:           newServer(eng, *withPprof, *maxUpload),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       60 * time.Second,
 		WriteTimeout:      60 * time.Second,

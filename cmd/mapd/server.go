@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"runtime"
 	"strings"
 
@@ -36,14 +37,21 @@ import (
 //	GET  /debug/pprof/*    CPU/heap/goroutine profiles (only with -pprof)
 type server struct {
 	eng *engine.Engine
+	// maxBody caps request bodies (job specs, batch specs and graph
+	// uploads alike); 0 selects maxBodyBytes.
+	maxBody int64
 }
 
 // newServer builds the mapd HTTP handler around an engine. withPprof
 // additionally mounts net/http/pprof under /debug/pprof/ — opt-in,
 // because profiling endpoints on a production port are an operational
-// decision, not a default.
-func newServer(eng *engine.Engine, withPprof bool) http.Handler {
-	s := &server{eng: eng}
+// decision, not a default. maxBody caps request bodies in bytes (0 =
+// the 64 MiB default).
+func newServer(eng *engine.Engine, withPprof bool, maxBody int64) http.Handler {
+	if maxBody <= 0 {
+		maxBody = maxBodyBytes
+	}
+	s := &server{eng: eng, maxBody: maxBody}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.submitJob)
 	mux.HandleFunc("POST /v1/batches", s.submitBatch)
@@ -80,13 +88,14 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
-// maxBodyBytes bounds request bodies: a single oversized inline edge
-// list must not be able to exhaust the server's memory.
+// maxBodyBytes is the default request-body cap (-max-upload overrides
+// it): a single oversized inline edge list or graph upload must not be
+// able to exhaust the server's memory.
 const maxBodyBytes = 64 << 20
 
 func (s *server) submitJob(w http.ResponseWriter, r *http.Request) {
 	var spec engine.JobSpec
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
@@ -102,7 +111,7 @@ func (s *server) submitJob(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) submitBatch(w http.ResponseWriter, r *http.Request) {
 	var spec engine.BatchSpec
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding batch spec: %w", err))
@@ -196,7 +205,7 @@ func parseWeights(s string) (ingest.WeightMode, error) {
 // as the graph bytes themselves (the upload path), with loader options
 // in query parameters: ?name=, ?format=, ?weights=, ?largest_component=1.
 func (s *server) ingestGraph(w http.ResponseWriter, r *http.Request) {
-	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
 	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
 		var req ingestRequest
 		dec := json.NewDecoder(body)
@@ -229,16 +238,33 @@ func (s *server) ingestGraph(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	data, err := io.ReadAll(body)
+	// Stream the upload to a spool file instead of buffering it in
+	// memory: the loader parses the spool in its own streaming passes,
+	// so the server's peak memory per upload is the resident CSR, not
+	// CSR + raw bytes. The spool only lives for the ingest.
+	spool, err := os.CreateTemp("", "mapd-upload-*")
 	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("creating upload spool: %w", err))
+		return
+	}
+	defer os.Remove(spool.Name())
+	defer spool.Close()
+	n, err := io.Copy(spool, body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("upload exceeds the %d-byte limit (raise with -max-upload)", tooBig.Limit))
+			return
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("reading upload: %w", err))
 		return
 	}
-	if len(data) == 0 {
+	if n == 0 {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("empty upload"))
 		return
 	}
-	info, dup, err := s.eng.IngestBytes(q.Get("name"), data, opt)
+	info, dup, err := s.eng.IngestSpool(q.Get("name"), spool.Name(), opt)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return

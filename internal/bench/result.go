@@ -129,6 +129,13 @@ type RunPerf struct {
 	ArtifactHitRate    float64 `json:"artifact_hit_rate"`
 	PartitionsComputed int     `json:"partitions_computed"`
 	PartitionsReused   int     `json:"partitions_reused"`
+	// WideSpeedup and WideWidth record the wide-mode probe when the run
+	// included one (mapbench -wide): the sequential/wide wall-clock
+	// ratio of one big job on an idle pool and the width that job
+	// reached. Zero when no probe ran. Like every other perf field,
+	// stripped before determinism comparisons.
+	WideSpeedup float64 `json:"wide_speedup,omitempty"`
+	WideWidth   int     `json:"wide_width,omitempty"`
 }
 
 // Results is the machine-readable outcome of one matrix run — the

@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/netgen"
+)
+
+// WideProbe configures the wide-mode speed probe: one big
+// TIMER-dominant job, run once sequentially and once wide on an
+// otherwise idle pool, with byte-identical quality enforced and the
+// wall-clock ratio reported (mapbench -wide; recorded in
+// BENCH_results.json as perf.wide_speedup).
+type WideProbe struct {
+	// Network and Scale pick the application graph (default
+	// PGPgiantcompo at full scale — big enough that trial evaluation,
+	// not bookkeeping, dominates).
+	Network string  `json:"network"`
+	Scale   float64 `json:"scale"`
+	// Topology and NumHierarchies size the job (defaults grid:8x8 and
+	// 128: a long all-rejected tail after the early accepted trials is
+	// exactly the regime speculation parallelizes).
+	Topology       string `json:"topology"`
+	NumHierarchies int    `json:"num_hierarchies"`
+	// Workers sizes the pool, and with it the helper-token budget of
+	// max(1, Workers−1) (default GOMAXPROCS).
+	Workers int   `json:"workers"`
+	Seed    int64 `json:"seed"`
+}
+
+func (p WideProbe) withDefaults() WideProbe {
+	if p.Network == "" {
+		p.Network = "PGPgiantcompo"
+	}
+	if p.Scale <= 0 || p.Scale > 1 {
+		p.Scale = 1
+	}
+	if p.Topology == "" {
+		p.Topology = "grid:8x8"
+	}
+	if p.NumHierarchies <= 0 {
+		p.NumHierarchies = 128
+	}
+	if p.Workers <= 0 {
+		p.Workers = runtime.GOMAXPROCS(0)
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// WideProbeResult reports one probe: identical quality is asserted
+// before it is returned, so Speedup is a pure wall-clock statement.
+type WideProbeResult struct {
+	Probe WideProbe `json:"probe"`
+	// SeqSeconds and WideSeconds are the end-to-end wall times of the
+	// sequential and the forced-wide run of the same job.
+	SeqSeconds  float64 `json:"seq_seconds"`
+	WideSeconds float64 `json:"wide_seconds"`
+	// Speedup is SeqSeconds / WideSeconds. On a single-CPU host wide
+	// mode cannot beat sequential (helpers just interleave), so ≈ 1 is
+	// the expected floor there; near-linear gains need real cores.
+	Speedup float64 `json:"speedup"`
+	// Width is the wide run's 1 + peak simultaneous helpers.
+	Width int `json:"width"`
+}
+
+// RunWideProbe measures wide mode. The artifact cache is disabled so
+// the second run cannot be served the first run's partition, the graph
+// is pre-generated so netgen time is excluded, and an untimed warm-up
+// of each path fills the scratch pools first. The sequential run is
+// Engine.Run (the reference path, which never widens); the wide run is
+// a submitted job with Wide: true on the otherwise idle pool. If the
+// two results differ after JobResult.StripPerf, the probe fails — a
+// wide speedup that changed the answer is not a speedup.
+func RunWideProbe(p WideProbe, progress func(line string)) (*WideProbeResult, error) {
+	p = p.withDefaults()
+	if progress == nil {
+		progress = func(string) {}
+	}
+	net, err := netgen.ByName(p.Network)
+	if err != nil {
+		return nil, fmt.Errorf("bench: wide probe: %w", err)
+	}
+	ga := net.Generate(p.Scale, p.Seed)
+
+	eng := engine.New(engine.Options{Workers: p.Workers, QueueCap: 4, ArtifactCacheEntries: -1})
+	defer eng.Close()
+
+	spec := engine.JobSpec{
+		Graph:          engine.GraphSpec{Network: p.Network, Scale: p.Scale, G: ga},
+		Topology:       p.Topology,
+		Case:           engine.C2Identity,
+		Seed:           p.Seed,
+		NumHierarchies: p.NumHierarchies,
+	}
+
+	runWide := func(s engine.JobSpec) (*engine.JobResult, error) {
+		s.Wide = true
+		job, err := eng.Submit(s)
+		if err != nil {
+			return nil, err
+		}
+		fin, err := eng.Wait(job.ID)
+		if err != nil {
+			return nil, err
+		}
+		if fin.Status != engine.StatusDone {
+			return nil, fmt.Errorf("wide job failed: %s", fin.Error)
+		}
+		return fin.Result, nil
+	}
+
+	// Warm both paths: topology labeling, scratch pools, helper tokens.
+	warm := spec
+	warm.NumHierarchies = 4
+	if _, err := eng.Run(warm); err != nil {
+		return nil, fmt.Errorf("bench: wide probe warm-up: %w", err)
+	}
+	if _, err := runWide(warm); err != nil {
+		return nil, fmt.Errorf("bench: wide probe warm-up: %w", err)
+	}
+
+	progress(fmt.Sprintf("wide probe: %s@%g on %s, NH %d, %d workers",
+		p.Network, p.Scale, p.Topology, p.NumHierarchies, p.Workers))
+	t0 := time.Now()
+	seq, err := eng.Run(spec)
+	if err != nil {
+		return nil, fmt.Errorf("bench: wide probe sequential run: %w", err)
+	}
+	seqSec := time.Since(t0).Seconds()
+
+	t0 = time.Now()
+	wide, err := runWide(spec)
+	if err != nil {
+		return nil, fmt.Errorf("bench: wide probe: %w", err)
+	}
+	wideSec := time.Since(t0).Seconds()
+
+	if !reflect.DeepEqual(seq.StripPerf(), wide.StripPerf()) {
+		return nil, fmt.Errorf("bench: wide probe: wide result differs from sequential (coco %d vs %d) — wide mode broke determinism",
+			wide.CocoAfter, seq.CocoAfter)
+	}
+	res := &WideProbeResult{
+		Probe:       p,
+		SeqSeconds:  seqSec,
+		WideSeconds: wideSec,
+		Speedup:     seqSec / wideSec,
+		Width:       wide.Width,
+	}
+	progress(fmt.Sprintf("wide probe: seq %.2fs, wide %.2fs -> speedup %.2fx at width %d (quality byte-identical)",
+		res.SeqSeconds, res.WideSeconds, res.Speedup, res.Width))
+	return res, nil
+}

@@ -49,6 +49,18 @@ type Options struct {
 	// rounds are the cheapest such strengthening.
 	SwapRounds int
 
+	// Spawn, when non-nil, enables wide execution of the sequential
+	// hierarchy loop: upcoming trials are evaluated speculatively on
+	// other goroutines while the loop's exact acceptance order is
+	// replayed afterwards, so the result — labels and every counter —
+	// is byte-identical to the Spawn == nil run (unlike Workers > 1,
+	// which changes the search trajectory). Spawn must either run the
+	// function (on any goroutine, returning true immediately) or
+	// decline by returning false; it must be safe for concurrent calls.
+	// The engine's wide mode supplies a pool-occupancy-gated Spawn.
+	// Ignored when Workers > 1. See runHierarchiesWide.
+	Spawn func(func()) bool
+
 	// Scratch, when non-nil, supplies the reusable hot-path buffers of
 	// this run; engine workers keep one per worker goroutine so
 	// back-to-back jobs share warm arenas. When nil, Enhance borrows a
@@ -117,9 +129,12 @@ func Enhance(ga *graph.Graph, topo *topology.Topology, assign []int32, opt Optio
 			sc = getScratch()
 			defer putScratch(sc)
 		}
-		if opt.Workers > 1 {
+		switch {
+		case opt.Workers > 1:
 			runHierarchiesParallel(lab, opt, rng, res, sc)
-		} else {
+		case opt.Spawn != nil:
+			runHierarchiesWide(lab, opt, rng, res, sc)
+		default:
 			runHierarchies(lab, opt, rng, res, sc)
 		}
 	}

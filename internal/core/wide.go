@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/bitvec"
+)
+
+// runHierarchiesWide executes the exact runHierarchies trajectory with
+// speculative parallelism: result-transparent wide execution.
+//
+// The sequential loop chains state — each trial starts from the current
+// accepted labeling and the current Coco+ threshold — so naive fan-out
+// would change the search. The key observation is that most trials do
+// NOT change that state: a rejected trial mutates nothing, and an
+// accepted zero-swap trial reproduces the base labeling exactly and
+// leaves the threshold where it was (its Coco+ ties the threshold, and
+// ties are accepted). Only a trial that is accepted with swaps applied
+// ("a mutation") advances the base labeling.
+//
+// So the loop runs in rounds: from the current state, trials h, h+1, …
+// are evaluated concurrently (trial h on the caller, the rest on
+// goroutines granted by opt.Spawn, each with its own pooled Scratch).
+// After the round joins, the trials are scanned in h-order applying the
+// sequential acceptance rule verbatim; the scan stops consuming at the
+// first mutation, whose successors were speculated from a stale base
+// and are discarded (recomputed next round from the updated state).
+// Every consumed trial therefore sees exactly the inputs the sequential
+// loop would have given it, making labels and counters byte-identical —
+// speculation only ever costs wasted helper work, never a different
+// answer. Wall-clock approaches NumHierarchies/(mutations+1) trial
+// times; with a typical handful of mutations concentrated in the early
+// trials, that is near-linear in the granted width.
+//
+// The hierarchy permutations are all drawn up front: the shared rng is
+// consumed nowhere else in the loop, one draw per trial in h-order, so
+// pre-drawing consumes the identical stream. Unlike the sequential
+// path, this path allocates (permutations, trial table, round
+// bookkeeping) — wide mode targets big underloaded jobs where that is
+// noise.
+func runHierarchiesWide(lab *Labeling, opt Options, rng *rand.Rand, res *Result, sc *Scratch) {
+	ga := lab.Ga
+	dimGa := lab.DimGa
+	plusMask, minusMask := objectiveMasks(lab, opt)
+	curCoco, curDiv := cocoAndDivOfLabels(ga, lab.Labels, plusMask, minusMask)
+	bestCocoPlus := curCoco - curDiv
+	bestCoco := curCoco
+	bestCocoLabels := append([]bitvec.Label(nil), lab.Labels...)
+
+	pis := make([]bitvec.Permutation, opt.NumHierarchies)
+	for h := range pis {
+		pis[h] = pickPermutation(h, dimGa, opt, rng)
+	}
+
+	// Helper scratches, grown to the widest round and returned at the
+	// end; slot 0 is the caller's scratch, used by the caller's own
+	// trial of each round.
+	scs := []*Scratch{sc}
+	defer func() {
+		for _, s := range scs[1:] {
+			putScratch(s)
+		}
+	}()
+
+	trials := make([]trial, opt.NumHierarchies)
+	h := 0
+	for h < opt.NumHierarchies {
+		// Launch as many speculative helpers as Spawn grants, then run
+		// trial h on the caller. Greedy width is wall-clock optimal: a
+		// round ends at the next mutation wherever it falls, and the
+		// grant gate (the engine's pool occupancy) is what bounds wasted
+		// helper work under load.
+		want := opt.NumHierarchies - h
+		var wg sync.WaitGroup
+		width := 1
+		for width < want {
+			i := width
+			for len(scs) <= i {
+				scs = append(scs, getScratch())
+			}
+			hi, slot, out := h+i, scs[i], &trials[i]
+			myCoco, myBest := curCoco, bestCocoPlus
+			wg.Add(1)
+			granted := opt.Spawn(func() {
+				defer wg.Done()
+				*out = tryHierarchy(ga, lab.Labels, dimGa, pis[hi], plusMask, minusMask,
+					opt.SwapRounds, myCoco, myBest, slot)
+			})
+			if !granted {
+				wg.Done() // the task never ran; undo its Add
+				break
+			}
+			width++
+		}
+		trials[0] = tryHierarchy(ga, lab.Labels, dimGa, pis[h], plusMask, minusMask,
+			opt.SwapRounds, curCoco, bestCocoPlus, sc)
+		wg.Wait()
+
+		// Replay the sequential acceptance over the round in h-order.
+		consumed := width
+		for j := 0; j < width; j++ {
+			t := &trials[j]
+			if t.cocoPlus > bestCocoPlus {
+				continue // rejected: state untouched, speculation holds
+			}
+			copy(lab.Labels, t.labels)
+			bestCocoPlus = t.cocoPlus
+			curCoco = t.coco
+			res.HierarchiesKept++
+			res.SwapsApplied += t.swaps
+			res.SwapGain += t.swapGain
+			res.Repairs += t.repairs
+			if t.coco < bestCoco {
+				bestCoco = t.coco
+				copy(bestCocoLabels, t.labels)
+			}
+			if t.swaps > 0 {
+				// A mutation: the base labeling changed, so the rest of
+				// the round speculated from a stale base. Consume up to
+				// here; the successors rerun next round.
+				consumed = j + 1
+				break
+			}
+		}
+		h += consumed
+	}
+	copy(lab.Labels, bestCocoLabels)
+}

@@ -295,6 +295,8 @@ func (c *ArtifactCache) Partition(key string, build func() (*partition.Result, e
 // served by mapd's GET /v1/stats and sampled by the bench harness for
 // the artifact_hit_rate column.
 type ArtifactStats struct {
+	// Entries and Bytes are the cache's current footprint; CapEntries
+	// and CapBytes are the configured LRU bounds (0 = unbounded).
 	Entries    int   `json:"entries"`
 	Bytes      int64 `json:"bytes"`
 	CapEntries int   `json:"cap_entries"`

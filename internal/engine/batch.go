@@ -19,11 +19,15 @@ type BatchSpec struct {
 	// Topologies are canonical topology specs (at least one).
 	Topologies []string `json:"topologies"`
 
+	// Case is the initial-mapping case shared by every job.
 	Case Case `json:"case"`
 	// Reps runs each (graph, topology) pair this many times with
 	// derived seeds (default 1).
 	Reps int `json:"reps,omitempty"`
 
+	// Epsilon, Seed, NumHierarchies and TimerWorkers are forwarded into
+	// every generated JobSpec (Seed after per-job derivation — see
+	// BatchSeed).
 	Epsilon        float64 `json:"epsilon,omitempty"`
 	Seed           int64   `json:"seed,omitempty"`
 	NumHierarchies int     `json:"num_hierarchies,omitempty"`

@@ -157,13 +157,20 @@ func (c *TopologyCache) Stats() (hits, misses int64) {
 
 // CacheInfo describes one cached topology for introspection endpoints.
 type CacheInfo struct {
-	Spec         string  `json:"spec"`
-	PEs          int     `json:"pes"`
-	Dim          int     `json:"dim"`
+	// Spec is the canonical topology spec string keying the entry; PEs
+	// and Dim are the built topology's processor count and labeling
+	// dimension.
+	Spec string `json:"spec"`
+	PEs  int    `json:"pes"`
+	Dim  int    `json:"dim"`
+	// BuildSeconds is the one-time construction cost the cache
+	// amortizes; Hits counts lookups served this entry.
 	BuildSeconds float64 `json:"build_seconds"`
 	Hits         int64   `json:"hits"`
-	Failed       bool    `json:"failed,omitempty"`
-	Error        string  `json:"error,omitempty"`
+	// Failed marks a negative entry: the build errored (Error says
+	// why), and every lookup is served the same error.
+	Failed bool   `json:"failed,omitempty"`
+	Error  string `json:"error,omitempty"`
 }
 
 // Snapshot lists the cache contents sorted by spec. Entries still being

@@ -1,21 +1,3 @@
-// Package engine is the concurrent mapping engine: a long-lived service
-// core that amortizes expensive state across requests and runs the
-// whole partition → initial mapping → TIMER pipeline behind one API.
-//
-// It owns three pieces:
-//
-//   - a TopologyCache sharing partial-cube labelings read-only across
-//     requests, keyed by canonical topology spec ("grid:16x16", ...);
-//   - a worker-pool job pipeline accepting mapping jobs (application
-//     graph + topology spec + case c1–c4 + TIMER options), executing
-//     them with bounded concurrency and per-stage timing;
-//   - a batch/scenario runner fanning one graph out over many
-//     topologies or many graphs over one topology (the paper's Section
-//     7 evaluation is one such batch).
-//
-// cmd/mapd serves the engine over HTTP; internal/experiments drives its
-// evaluation harness through it; the repro facade re-exports it for
-// library use.
 package engine
 
 import (
@@ -62,7 +44,19 @@ type Options struct {
 	// every job recomputes every stage (the pre-PR-5 behavior).
 	ArtifactCacheEntries int
 	ArtifactCacheBytes   int64
+	// WideThreshold tunes wide mode (intra-job parallelism; see wide.go):
+	// a job is granted helper goroutines while the rest of the pool's
+	// load — other running jobs plus queued jobs — stays within this
+	// fraction of Workers. Zero selects the default 0.5 (help out while
+	// at least half the pool is idle); a negative value disables
+	// automatic widening, leaving helpers only to jobs that explicitly
+	// set JobSpec.Wide.
+	WideThreshold float64
 }
+
+// defaultWideThreshold is the pool-occupancy fraction below which jobs
+// widen automatically (Options.WideThreshold zero value).
+const defaultWideThreshold = 0.5
 
 func (o Options) withDefaults() Options {
 	if o.Workers <= 0 {
@@ -109,7 +103,16 @@ type Engine struct {
 	pending chan *jobRecord
 	wg      sync.WaitGroup
 
-	served atomic.Int64 // jobs finished (done or failed) since New
+	served  atomic.Int64 // jobs finished (done or failed) since New
+	running atomic.Int64 // jobs currently executing on workers
+
+	// wideTokens is the engine-wide helper budget of wide mode: one
+	// token per helper goroutine, max(1, Workers−1) in total, so wide
+	// jobs borrow only the parallelism the pool actually has. wideJobs
+	// and wideGrants are the cumulative counters served by Stats.
+	wideTokens chan struct{}
+	wideJobs   atomic.Int64
+	wideGrants atomic.Int64
 
 	// stageMu guards stageSecs, the cumulative wall time spent in each
 	// pipeline stage across all worker-executed jobs — the operator's
@@ -148,6 +151,14 @@ func New(opt Options) *Engine {
 		jobs:      make(map[string]*jobRecord),
 		pending:   make(chan *jobRecord, opt.QueueCap),
 		stageSecs: make(map[string]float64),
+	}
+	helpers := opt.Workers - 1
+	if helpers < 1 {
+		helpers = 1
+	}
+	e.wideTokens = make(chan struct{}, helpers)
+	for i := 0; i < helpers; i++ {
+		e.wideTokens <- struct{}{}
 	}
 	if opt.ArtifactCacheEntries >= 0 {
 		e.artifacts = NewArtifactCache(opt.ArtifactCacheEntries, opt.ArtifactCacheBytes)
@@ -304,9 +315,11 @@ func (e *Engine) Jobs() []Job {
 // the queue (library convenience; the topology still goes through the
 // cache). The job is not registered in the engine's job table. Per-stage
 // timings are in the result's Stages field. Without a worker's scratch
-// the pipeline stages borrow arenas from their package pools.
+// the pipeline stages borrow arenas from their package pools. Run never
+// widens — it is the sequential reference wide mode is measured
+// against; Spec.Wide only takes effect on submitted jobs.
 func (e *Engine) Run(spec JobSpec) (*JobResult, error) {
-	return runPipeline(spec, e.cache.Get, e.GraphByRef, nil, nil, e.artifacts)
+	return runPipeline(spec, e.cache.Get, e.GraphByRef, nil, nil, e.artifacts, nil)
 }
 
 // Stats is a point-in-time snapshot of the engine's pool state, served
@@ -328,6 +341,11 @@ type Stats struct {
 	// ("partition"/"drb"/"map" are the base stage, "enhance" is TIMER),
 	// so operators can watch the base-vs-enhancement split under load.
 	StageSeconds map[string]float64 `json:"stage_seconds,omitempty"`
+	// WideJobs counts jobs that ran with at least one wide-mode helper
+	// goroutine; WideGrants counts the helpers granted in total (see
+	// wide.go). Both stay 0 on an engine that never widened.
+	WideJobs   int64 `json:"wide_jobs,omitempty"`
+	WideGrants int64 `json:"wide_grants,omitempty"`
 	// Artifacts snapshots the content-addressed artifact cache — how
 	// many materialized graphs and partitions are resident and how often
 	// jobs were served from it instead of recomputing. Nil when the
@@ -358,6 +376,8 @@ func (e *Engine) Stats() Stats {
 		JobsRetained: retained,
 		RetainCap:    e.opt.RetainJobs,
 		StageSeconds: stages,
+		WideJobs:     e.wideJobs.Load(),
+		WideGrants:   e.wideGrants.Load(),
 	}
 	if e.artifacts != nil {
 		as := e.artifacts.Stats()
@@ -380,6 +400,8 @@ func (e *Engine) worker() {
 }
 
 func (e *Engine) execute(rec *jobRecord, ws *workerScratch) {
+	e.running.Add(1)
+	defer e.running.Add(-1)
 	rec.mu.Lock()
 	rec.job.Status = StatusRunning
 	rec.job.Started = time.Now()
@@ -422,7 +444,13 @@ func (e *Engine) runGuarded(spec JobSpec, rec *jobRecord, ws *workerScratch) (re
 			res, err = nil, fmt.Errorf("engine: job panicked: %v", r)
 		}
 	}()
-	return runPipeline(spec, e.cache.Get, e.GraphByRef, func(name string, seconds float64) {
+	var st *wideState
+	var spawn func(func()) bool
+	if e.wideEligible(spec) {
+		st = &wideState{}
+		spawn = e.spawnFor(spec.Wide, st)
+	}
+	res, err = runPipeline(spec, e.cache.Get, e.GraphByRef, func(name string, seconds float64) {
 		if seconds >= 0 {
 			e.stageMu.Lock()
 			e.stageSecs[name] += seconds
@@ -435,5 +463,18 @@ func (e *Engine) runGuarded(spec JobSpec, rec *jobRecord, ws *workerScratch) (re
 			rec.job.Stages = append(rec.job.Stages, Stage{Name: name, Seconds: seconds})
 		}
 		rec.mu.Unlock()
-	}, ws, e.artifacts)
+	}, ws, e.artifacts, spawn)
+	if st != nil {
+		if g := st.grants.Load(); g > 0 {
+			e.wideGrants.Add(g)
+			e.wideJobs.Add(1)
+		}
+		if perr := st.err(); perr != nil && err == nil {
+			res, err = nil, perr
+		}
+		if res != nil {
+			res.Width = st.width()
+		}
+	}
+	return res, err
 }

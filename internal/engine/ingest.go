@@ -188,6 +188,30 @@ func (e *Engine) IngestBytes(name string, data []byte, opt ingest.Options) (Grap
 		e.ingestError()
 		return GraphInfo{}, false, err
 	}
+	return e.registerUpload(name, res, opt)
+}
+
+// IngestSpool loads an uploaded graph that the caller spooled to a file
+// and registers it under "upload:<fingerprint>" — identical semantics
+// to IngestBytes, but streaming: the upload is parsed straight off the
+// spool in the loader's two passes and never has to be resident as one
+// contiguous byte slice. The spool file belongs to the caller (mapd
+// deletes it after this returns); the registration keeps no path, so an
+// evicted upload must be uploaded again rather than re-read from a
+// temp file that no longer exists.
+func (e *Engine) IngestSpool(name, path string, opt ingest.Options) (GraphInfo, bool, error) {
+	res, err := ingest.LoadFileAs(name, path, opt)
+	if err != nil {
+		e.ingestError()
+		return GraphInfo{}, false, err
+	}
+	return e.registerUpload(name, res, opt)
+}
+
+// registerUpload is the shared tail of the two upload ingests: register
+// the loaded graph under its content address and make it resident,
+// dedupping onto any existing registration of the same bytes.
+func (e *Engine) registerUpload(name string, res *ingest.Result, opt ingest.Options) (GraphInfo, bool, error) {
 	ref := "upload:" + res.Fingerprint.String()
 	e.ingestMu.Lock()
 	existing, dup := e.ingests[ref]

@@ -230,6 +230,7 @@ func (gs GraphSpec) materialize(jobSeed int64) (*graph.Graph, error) {
 // produce an initial mapping with the chosen baseline, enhance it with
 // TIMER.
 type JobSpec struct {
+	// Graph selects the application graph (see GraphSpec).
 	Graph GraphSpec `json:"graph"`
 	// Topology is a canonical topology spec ("grid:16x16", ...) resolved
 	// through the engine's cache.
@@ -238,6 +239,7 @@ type JobSpec struct {
 	// cache.
 	Topo *topology.Topology `json:"-"`
 
+	// Case picks the initial-mapping baseline (default IDENTITY).
 	Case Case `json:"case"`
 	// Epsilon is the partitioning imbalance (default 0.03).
 	Epsilon float64 `json:"epsilon,omitempty"`
@@ -256,6 +258,14 @@ type JobSpec struct {
 	TimerWorkers int `json:"timer_workers,omitempty"`
 	// SwapRounds repeats TIMER's sibling-swap pass per level (default 1).
 	SwapRounds int `json:"swap_rounds,omitempty"`
+	// Wide forces wide mode for this job: the partition and TIMER stages
+	// may fan work onto helper goroutines regardless of pool occupancy
+	// (the engine-wide helper-token budget still applies). Results are
+	// byte-identical to the sequential run — wide mode only changes
+	// wall-clock and the result's Width diagnostic; see wide.go. Without
+	// this flag the engine widens jobs automatically while the pool is
+	// underloaded (Options.WideThreshold).
+	Wide bool `json:"wide,omitempty"`
 	// IncludeAssignment returns the enhanced mapping itself in the
 	// result (can be large).
 	IncludeAssignment bool `json:"include_assignment,omitempty"`
@@ -277,18 +287,25 @@ func (s JobSpec) withDefaults() JobSpec {
 
 // Stage is one timed step of the job pipeline.
 type Stage struct {
+	// Name is the pipeline step (topology, graph, partition, map, drb,
+	// enhance); Seconds its wall time.
 	Name    string  `json:"name"`
 	Seconds float64 `json:"seconds"`
 }
 
 // JobResult is the outcome of a finished job.
 type JobResult struct {
+	// Topology, PEs, GraphN, GraphM and Case echo the resolved inputs:
+	// the canonical topology spec, its processor count, the application
+	// graph's size and the initial-mapping baseline that ran.
 	Topology string `json:"topology"`
 	PEs      int    `json:"pes"`
 	GraphN   int    `json:"graph_n"`
 	GraphM   int    `json:"graph_m"`
 	Case     Case   `json:"case"`
 
+	// CutBefore/After and CocoBefore/After are the edge cut and the
+	// paper's Coco objective of the mapping before and after TIMER.
 	CutBefore  int64 `json:"cut_before"`
 	CutAfter   int64 `json:"cut_after"`
 	CocoBefore int64 `json:"coco_before"`
@@ -306,6 +323,8 @@ type JobResult struct {
 	ImbalanceBefore float64 `json:"imbalance_before"`
 	ImbalanceAfter  float64 `json:"imbalance_after"`
 
+	// HierarchiesKept counts TIMER trials whose labeling was accepted;
+	// SwapsApplied the label swaps those trials contributed.
 	HierarchiesKept int `json:"hierarchies_kept"`
 	SwapsApplied    int `json:"swaps_applied"`
 
@@ -322,18 +341,44 @@ type JobResult struct {
 	BaseSeconds  float64 `json:"base_seconds"`
 	TimerSeconds float64 `json:"timer_seconds"`
 
+	// Width is 1 plus the peak number of wide-mode helper goroutines
+	// that ran simultaneously for this job (so 1 = effectively
+	// sequential). A perf diagnostic like the timing fields: quality
+	// fields are byte-identical at any width. Zero for pipelines that
+	// ran without an engine worker (Engine.Run).
+	Width int `json:"width,omitempty"`
+
 	// Stages are the per-stage wall times of the pipeline in execution
 	// order — the same numbers the engine streams into a running Job's
 	// snapshot, retained here so every consumer (mapd, bench, library
 	// callers) reports identical timings.
 	Stages []Stage `json:"stages,omitempty"`
 
+	// Assignment is the enhanced vertex→PE mapping, present only when
+	// the spec set IncludeAssignment.
 	Assignment []int32 `json:"assignment,omitempty"`
+}
+
+// StripPerf returns a copy of the result with every machine- and
+// schedule-dependent field zeroed: wall times, cache provenance and the
+// wide-mode width diagnostic. What remains is the deterministic quality
+// payload — two runs of the same spec must compare equal after
+// StripPerf regardless of worker count, cache state or width (the
+// bench harness and the determinism tests rely on exactly this).
+func (r JobResult) StripPerf() JobResult {
+	r.Stages = nil
+	r.BaseSeconds, r.TimerSeconds = 0, 0
+	r.Width = 0
+	r.PartitionReused = false
+	return r
 }
 
 // JobStatus is the lifecycle state of a job.
 type JobStatus string
 
+// The four job lifecycle states: queued (accepted, waiting for a
+// worker), running (a worker is executing the pipeline), done (finished
+// with a Result) and failed (finished with an Error).
 const (
 	StatusQueued  JobStatus = "queued"
 	StatusRunning JobStatus = "running"
@@ -344,6 +389,8 @@ const (
 // Job is a snapshot of one submitted job. All fields are copies; the
 // engine's internal record keeps mutating after the snapshot is taken.
 type Job struct {
+	// ID is the engine-assigned job identifier; Spec the submitted (and
+	// default-resolved) job; Status its lifecycle state.
 	ID     string    `json:"id"`
 	Spec   JobSpec   `json:"spec"`
 	Status JobStatus `json:"status"`
@@ -353,6 +400,8 @@ type Job struct {
 	Result *JobResult `json:"result,omitempty"`
 	Error  string     `json:"error,omitempty"`
 
+	// Submitted, Started and Finished timestamp the lifecycle
+	// transitions (zero until reached).
 	Submitted time.Time `json:"submitted"`
 	Started   time.Time `json:"started,omitzero"`
 	Finished  time.Time `json:"finished,omitzero"`
@@ -380,10 +429,13 @@ func moreThanOne(flags ...bool) bool {
 // memoizes whole stages across jobs: netgen graph materialization by
 // canonical spec key and multilevel partitions by (graph fingerprint,
 // K, ε, partition seed), with single-flight coalescing of concurrent
-// identical requests.
+// identical requests. spawn, when non-nil, is the wide-mode helper hook
+// handed to the partition and TIMER stages (see wide.go); results are
+// byte-identical with or without it.
 func runPipeline(spec JobSpec, resolve func(string) (*topology.Topology, error),
 	resolveRef func(string) (*graph.Graph, error),
-	stage func(name string, seconds float64), ws *workerScratch, arts *ArtifactCache) (*JobResult, error) {
+	stage func(name string, seconds float64), ws *workerScratch, arts *ArtifactCache,
+	spawn func(func()) bool) (*JobResult, error) {
 	spec = spec.withDefaults()
 	if stage == nil {
 		stage = func(string, float64) {}
@@ -486,7 +538,7 @@ func runPipeline(spec JobSpec, resolve func(string) (*topology.Topology, error),
 		var part *partition.Result
 		if err := timed("partition", func() error {
 			t0 := time.Now()
-			cfg := partition.Config{K: topo.P(), Epsilon: spec.Epsilon, Seed: pseed}
+			cfg := partition.Config{K: topo.P(), Epsilon: spec.Epsilon, Seed: pseed, Spawn: spawn}
 			if baseSc != nil {
 				cfg.Scratch = baseSc.Partition
 			}
@@ -572,6 +624,7 @@ func runPipeline(spec JobSpec, resolve func(string) (*topology.Topology, error),
 			Seed:           spec.Seed,
 			Workers:        spec.TimerWorkers,
 			SwapRounds:     spec.SwapRounds,
+			Spawn:          spawn,
 			Scratch:        timerSc,
 		})
 		if err != nil {

@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/ingest"
+)
+
+// stripPerfFields is the test-side shorthand for JobResult.StripPerf —
+// what remains after it must be byte-identical between a sequential and
+// a wide run; that is wide mode's whole contract.
+func stripPerfFields(r *JobResult) JobResult { return r.StripPerf() }
+
+// TestWideJobEquivalence runs a representative spec matrix — every
+// initial-mapping case, the three topology families, generated, inline
+// and ingested graphs — once sequentially (Engine.Run, which never
+// widens) and once as a forced-wide job on a multi-worker pool, and
+// requires the quality fields of the two JobResults to match exactly.
+func TestWideJobEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second matrix")
+	}
+	// The artifact cache is disabled so the wide run cannot be served
+	// the sequential run's partition: both runs must really compute.
+	e := New(Options{Workers: 4, ArtifactCacheEntries: -1})
+	defer e.Close()
+
+	info, err := e.IngestPath("../ingest/testdata/ca-grqc-excerpt.txt", ingest.Options{})
+	if err != nil {
+		t.Fatalf("ingest fixture: %v", err)
+	}
+
+	inline := GraphSpec{N: 60, Edges: ringEdges(60)}
+	specs := []JobSpec{
+		{Graph: GraphSpec{Network: "p2p-Gnutella", Scale: 0.25}, Topology: "grid:8x8", Case: C2Identity, NumHierarchies: 16, Seed: 1},
+		{Graph: GraphSpec{Network: "PGPgiantcompo", Scale: 0.25}, Topology: "hypercube:6", Case: C1SCOTCH, NumHierarchies: 16, Seed: 1},
+		{Graph: GraphSpec{Network: "p2p-Gnutella", Scale: 0.25}, Topology: "torus:4x4", Case: C3GreedyAllC, NumHierarchies: 16, Seed: 2},
+		{Graph: GraphSpec{Network: "PGPgiantcompo", Scale: 0.25}, Topology: "grid:4x4x4", Case: C4GreedyMin, NumHierarchies: 16, Seed: 3},
+		{Graph: inline, Topology: "grid:4x4", Case: C0Random, NumHierarchies: 16, Seed: 4},
+		{Graph: GraphSpec{Ref: info.Ref}, Topology: "grid:8x8", Case: C2Identity, NumHierarchies: 16, Seed: 5},
+	}
+	for _, spec := range specs {
+		seq, err := e.Run(spec)
+		if err != nil {
+			t.Fatalf("%s/%s sequential: %v", spec.Topology, spec.Case, err)
+		}
+		wspec := spec
+		wspec.Wide = true
+		job, err := e.Submit(wspec)
+		if err != nil {
+			t.Fatalf("%s/%s submit: %v", spec.Topology, spec.Case, err)
+		}
+		fin, err := e.Wait(job.ID)
+		if err != nil {
+			t.Fatalf("%s/%s wait: %v", spec.Topology, spec.Case, err)
+		}
+		if fin.Status != StatusDone {
+			t.Fatalf("%s/%s wide job failed: %s", spec.Topology, spec.Case, fin.Error)
+		}
+		if got, want := stripPerfFields(fin.Result), stripPerfFields(seq); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s/%s: wide result differs from sequential:\nwide: %+v\nseq:  %+v",
+				spec.Topology, spec.Case, got, want)
+		}
+		if fin.Result.Width < 1 {
+			t.Errorf("%s/%s: wide job reported width %d, want >= 1", spec.Topology, spec.Case, fin.Result.Width)
+		}
+	}
+	st := e.Stats()
+	if st.WideJobs == 0 || st.WideGrants == 0 {
+		t.Errorf("stats never counted wide work: jobs %d grants %d", st.WideJobs, st.WideGrants)
+	}
+}
+
+func ringEdges(n int) [][3]int64 {
+	edges := make([][3]int64, 0, 2*n)
+	for v := 0; v < n; v++ {
+		edges = append(edges, [3]int64{int64(v), int64((v + 1) % n), 1})
+		edges = append(edges, [3]int64{int64(v), int64((v + 7) % n), 2})
+	}
+	return edges
+}

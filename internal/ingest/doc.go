@@ -1,0 +1,32 @@
+// Package ingest loads real-world graph instances at scale: SNAP-style
+// edge lists, Matrix Market coordinate matrices and METIS adjacency
+// files, all converging on one two-pass streaming CSR loader.
+//
+// The loader never materializes an intermediate edge slice. Pass 1
+// streams the input to discover the vertex set (arbitrary
+// non-contiguous ids, for edge lists) and count degrees; pass 2
+// re-streams it and writes every half-edge directly into its final CSR
+// row — concurrently, sharded over byte ranges of the input, when the
+// source supports random access. A normalization pass then sorts each
+// row, merges parallel edges (weight-sum, or unit weights for
+// unweighted inputs), drops self-loops, and optionally extracts the
+// largest connected component. Peak memory stays within roughly 1.3x
+// of the final CSR footprint even at hundreds of millions of edges
+// (Stats.PeakBytes reports the model; a regression test pins it
+// against real allocation accounting).
+//
+// Results carry a graph.Fingerprint — loading the same bytes twice, by
+// path or by upload, yields the identical fingerprint — which is how
+// ingested graphs join the engine's content-addressed artifact cache
+// under "file:"/"upload:" keys, next to the synthetic "net:" instances.
+// The id remap table (CSR vertex -> original input id) is retained so
+// mapping results can be translated back to the input's vertex names.
+//
+// The sharded pass-2 concurrency is internal to one Load call and
+// deterministic: every half-edge lands at an offset derived from the
+// pass-1 counts regardless of shard interleaving, so the same bytes
+// always produce the same CSR and the same fingerprint. How that
+// determinism composes with the engine's job-level and wide-mode
+// parallelism is covered by the "Concurrency & determinism" chapter of
+// DESIGN.md.
+package ingest

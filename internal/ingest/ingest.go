@@ -1,26 +1,3 @@
-// Package ingest loads real-world graph instances at scale: SNAP-style
-// edge lists, Matrix Market coordinate matrices and METIS adjacency
-// files, all converging on one two-pass streaming CSR loader.
-//
-// The loader never materializes an intermediate edge slice. Pass 1
-// streams the input to discover the vertex set (arbitrary
-// non-contiguous ids, for edge lists) and count degrees; pass 2
-// re-streams it and writes every half-edge directly into its final CSR
-// row — concurrently, sharded over byte ranges of the input, when the
-// source supports random access. A normalization pass then sorts each
-// row, merges parallel edges (weight-sum, or unit weights for
-// unweighted inputs), drops self-loops, and optionally extracts the
-// largest connected component. Peak memory stays within roughly 1.3x
-// of the final CSR footprint even at hundreds of millions of edges
-// (Stats.PeakBytes reports the model; a regression test pins it
-// against real allocation accounting).
-//
-// Results carry a graph.Fingerprint — loading the same bytes twice, by
-// path or by upload, yields the identical fingerprint — which is how
-// ingested graphs join the engine's content-addressed artifact cache
-// under "file:"/"upload:" keys, next to the synthetic "net:" instances.
-// The id remap table (CSR vertex -> original input id) is retained so
-// mapping results can be translated back to the input's vertex names.
 package ingest
 
 import (
@@ -145,6 +122,16 @@ type Result struct {
 // LoadFile loads the named graph file. The file is opened once per
 // pass; the chunked fill reads byte ranges of it concurrently.
 func LoadFile(path string, opt Options) (*Result, error) {
+	return LoadFileAs(path, path, opt)
+}
+
+// LoadFileAs loads the graph at path but attributes it to name: format
+// auto-detection (extension-based) and error messages use name, not the
+// on-disk path. This is the spooled-upload loader — the bytes sit in a
+// temp file whose random name says nothing about their format, while
+// the client-supplied filename does. An empty name disables extension
+// detection, exactly like an unnamed LoadBytes upload.
+func LoadFileAs(name, path string, opt Options) (*Result, error) {
 	fi, err := os.Stat(path)
 	if err != nil {
 		return nil, err
@@ -158,7 +145,7 @@ func LoadFile(path string, opt Options) (*Result, error) {
 	}
 	defer f.Close()
 	src := source{
-		name: path,
+		name: name,
 		size: fi.Size(),
 		open: func() (io.ReadCloser, error) { return os.Open(path) },
 		at:   f,

@@ -91,7 +91,7 @@ func (sc *Scratch) kwayRefine(g *graph.Graph, part []int32, cfg Config, rng *ran
 // its least-damaging boundary vertices to the lightest adjacent block
 // with room (falling back to the globally lightest block). With unit
 // vertex weights this always terminates with a balanced partition.
-func (sc *Scratch) enforceBalance(g *graph.Graph, part []int32, cfg Config, rng *rand.Rand) {
+func (sc *Scratch) enforceBalance(g *graph.Graph, part []int32, cfg Config) {
 	k := cfg.K
 	if k <= 1 {
 		return
@@ -174,9 +174,9 @@ func (sc *Scratch) enforceBalance(g *graph.Graph, part []int32, cfg Config, rng 
 
 // enforceBalance is the standalone form for tests and external
 // callers; it borrows a pooled scratch.
-func enforceBalance(g *graph.Graph, part []int32, cfg Config, rng *rand.Rand) {
+func enforceBalance(g *graph.Graph, part []int32, cfg Config) {
 	sc := getScratch()
-	sc.enforceBalance(g, part, cfg, rng)
+	sc.enforceBalance(g, part, cfg)
 	putScratch(sc)
 }
 

@@ -15,7 +15,6 @@ package partition
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"repro/internal/graph"
 )
@@ -50,6 +49,18 @@ type Config struct {
 	// or without it; nil borrows a scratch from a package pool. A
 	// Scratch must not be shared between concurrent calls.
 	Scratch *Scratch
+	// Spawn, when non-nil, lets Partition offload the right half of a
+	// recursive bisection onto another goroutine: Spawn must either run
+	// the function (on any goroutine, returning true immediately) or
+	// decline by returning false, in which case the caller runs it
+	// inline. Spawned halves spawn their own sub-halves in turn, so the
+	// hook must be safe for concurrent calls. Every recursion node
+	// derives its own rng seed from (Seed, block interval) — see
+	// subSeed — so the partition is byte-identical whether halves run
+	// sequentially, concurrently, or in any mix. The engine's wide mode
+	// supplies a pool-occupancy-gated Spawn; nil keeps the
+	// single-goroutine behavior.
+	Spawn func(func()) bool
 }
 
 func (c Config) withDefaults() Config {
@@ -94,7 +105,6 @@ func Partition(g *graph.Graph, cfg Config) (*Result, error) {
 		sc = getScratch()
 		defer putScratch(sc)
 	}
-	rng := sc.seedRNG(cfg.Seed)
 	part := make([]int32, g.N())
 	// Per-bisection imbalance: compounding over ⌈log2 K⌉ levels must stay
 	// within the global ε; additionally each level needs some slack to
@@ -107,10 +117,13 @@ func Partition(g *graph.Graph, cfg Config) (*Result, error) {
 	if epsBis < 0.004 {
 		epsBis = 0.004
 	}
-	sc.recursiveBisect(g, cfg, rng, part, 0, cfg.K, epsBis, 0)
+	sc.recursiveBisect(g, cfg, part, cfg.K, epsBis, 0, 0)
 
-	sc.kwayRefine(g, part, cfg, rng)
-	sc.enforceBalance(g, part, cfg, rng)
+	// The k-way post-pass draws from its own derived stream: (K, K)
+	// cannot collide with any recursion node's interval (those all have
+	// gbase+k ≤ K with k ≥ 1, so gbase ≤ K−1).
+	sc.kwayRefine(g, part, cfg, sc.seedRNG(subSeed(cfg.Seed, cfg.K, cfg.K)))
+	sc.enforceBalance(g, part, cfg)
 
 	res := &Result{Part: part, K: cfg.K}
 	sc.weights = graph.Resize(sc.weights, cfg.K)
@@ -118,28 +131,49 @@ func Partition(g *graph.Graph, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// recursiveBisect splits g's vertices into blocks [base, base+k) writing
-// into part (which is indexed by g's vertex ids — callers pass induced
-// subgraphs along with an id translation). depth indexes the scratch's
-// per-recursion-level subgraph storage.
-func (sc *Scratch) recursiveBisect(g *graph.Graph, cfg Config, rng *rand.Rand, part []int32, base, k int, epsBis float64, depth int) {
+// subSeed derives the rng seed of one independent subproblem from the
+// configured seed and the subproblem's global block interval
+// [gbase, gbase+k). Every recursion node of recursiveBisect covers a
+// distinct interval (disjoint intervals differ in gbase, nested
+// same-start intervals differ in k), so each node draws from its own
+// stream regardless of execution order — which is what makes the
+// Spawn-parallel recursion byte-identical to the sequential one. The
+// mixer is splitmix64's finalizer.
+func subSeed(seed int64, gbase, k int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(gbase+1) + 0xbf58476d1ce4e5b9*uint64(k)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// recursiveBisect splits g's vertices into blocks [0, k) writing into
+// part (which is indexed by g's vertex ids — callers pass induced
+// subgraphs along with an id translation); the caller projects the
+// local block ids onto its own interval. depth indexes the scratch's
+// per-recursion-level subgraph storage; gbase is the node's global
+// first block, used only for seed derivation (see subSeed).
+func (sc *Scratch) recursiveBisect(g *graph.Graph, cfg Config, part []int32, k int, epsBis float64, depth, gbase int) {
 	if k == 1 {
 		for v := 0; v < g.N(); v++ {
-			part[v] = int32(base)
+			part[v] = 0
 		}
 		return
 	}
 	kL := k / 2
 	kR := k - kL
 	fracL := float64(kL) / float64(k)
+	// This node's private stream: consumed entirely by the bisection
+	// below, before any recursion reseeds the scratch's shared rng.
+	rng := sc.seedRNG(subSeed(cfg.Seed, gbase, k))
 	side := sc.multilevelBisect(g, cfg, rng, fracL, epsBis)
 
 	if kL == 1 && kR == 1 {
 		// Both halves are leaves: the side assignment is the partition
-		// (left = base, right = base+1); no subgraphs needed.
-		for v := 0; v < g.N(); v++ {
-			part[v] = int32(base) + side[v]
-		}
+		// (left = 0, right = 1); no subgraphs needed.
+		copy(part, side[:g.N()])
 		return
 	}
 
@@ -161,13 +195,40 @@ func (sc *Scratch) recursiveBisect(g *graph.Graph, cfg Config, rng *rand.Rand, p
 	partR := graph.Resize(ds.partR, gR.N())
 	ds.left, ds.right, ds.partL, ds.partR = left, right, partL, partR
 
-	sc.recursiveBisect(gL, cfg, rng, partL, 0, kL, epsBis, depth+1)
-	sc.recursiveBisect(gR, cfg, rng, partR, 0, kR, epsBis, depth+1)
+	// Offload the right half when the caller provided Spawn and the
+	// half is worth a goroutine (a k=1 leaf is a trivial fill). The
+	// spawned task owns a pooled Scratch — never the caller's — and the
+	// parent only reads partR after the join, so gR/partR (stable in
+	// this depthState while deeper levels grow sc.depths) are safe to
+	// share. Channel and closure allocations happen on this path only;
+	// the sequential path stays allocation-free.
+	if cfg.Spawn != nil && kR > 1 {
+		done := make(chan struct{})
+		if cfg.Spawn(func() {
+			defer close(done)
+			rsc := getScratch()
+			rsc.recursiveBisect(gR, cfg, partR, kR, epsBis, 0, gbase+kL)
+			putScratch(rsc)
+		}) {
+			sc.recursiveBisect(gL, cfg, partL, kL, epsBis, depth+1, gbase)
+			<-done
+			projectHalves(part, left, right, partL, partR, kL)
+			return
+		}
+	}
+	sc.recursiveBisect(gL, cfg, partL, kL, epsBis, depth+1, gbase)
+	sc.recursiveBisect(gR, cfg, partR, kR, epsBis, depth+1, gbase+kL)
+	projectHalves(part, left, right, partL, partR, kL)
+}
+
+// projectHalves merges the two halves' local block ids into the parent's
+// local id space: left blocks keep their ids, right blocks shift by kL.
+func projectHalves(part []int32, left, right, partL, partR []int32, kL int) {
 	for i, v := range left {
-		part[v] = int32(base) + partL[i]
+		part[v] = partL[i]
 	}
 	for i, v := range right {
-		part[v] = int32(base+kL) + partR[i]
+		part[v] = int32(kL) + partR[i]
 	}
 }
 

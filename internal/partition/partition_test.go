@@ -251,8 +251,7 @@ func TestEnforceBalanceRepairsOverload(t *testing.T) {
 	g := grid(8, 8)
 	cfg := Config{K: 4, Epsilon: 0.03}.withDefaults()
 	part := make([]int32, g.N()) // everything in block 0: grossly unbalanced
-	rng := rand.New(rand.NewSource(6))
-	enforceBalance(g, part, cfg, rng)
+	enforceBalance(g, part, cfg)
 	if !IsBalanced(g, part, 4, 0.03) {
 		t.Errorf("enforceBalance left imbalance: %v", BlockWeights(g, part, 4))
 	}

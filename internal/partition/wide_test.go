@@ -1,0 +1,70 @@
+package partition
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestSpawnEquivalence pins the wide-mode contract: a partition computed
+// with recursion halves dispatched onto other goroutines is
+// byte-identical to the sequential one, for every acceptance pattern of
+// the Spawn hook (always accept, never accept, every other call).
+func TestSpawnEquivalence(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"grid32": grid(32, 32),
+		"path":   pathGraph(300),
+	}
+	for name, g := range graphs {
+		for _, k := range []int{2, 7, 16, 64} {
+			base := Config{K: k, Epsilon: 0.03, Seed: 42}
+			seq, err := Partition(g, base)
+			if err != nil {
+				t.Fatalf("%s k=%d sequential: %v", name, k, err)
+			}
+
+			var wg sync.WaitGroup
+			spawners := map[string]func(func()) bool{
+				"always": func(fn func()) bool {
+					wg.Add(1)
+					go func() { defer wg.Done(); fn() }()
+					return true
+				},
+				"never": func(fn func()) bool { return false },
+			}
+			var calls atomic.Int64
+			spawners["alternate"] = func(fn func()) bool {
+				if calls.Add(1)%2 == 0 {
+					return false
+				}
+				wg.Add(1)
+				go func() { defer wg.Done(); fn() }()
+				return true
+			}
+			for sname, spawn := range spawners {
+				cfg := base
+				cfg.Spawn = spawn
+				wide, err := Partition(g, cfg)
+				wg.Wait()
+				if err != nil {
+					t.Fatalf("%s k=%d %s: %v", name, k, sname, err)
+				}
+				if !reflect.DeepEqual(seq, wide) {
+					t.Errorf("%s k=%d: %s-spawned partition differs from sequential (cut %d vs %d)",
+						name, k, sname, wide.Cut, seq.Cut)
+				}
+			}
+		}
+	}
+}
+
+func pathGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 0; v+1 < n; v++ {
+		b.AddEdge(v, v+1, 1)
+	}
+	return b.Build()
+}
