@@ -30,6 +30,16 @@
 //	mapbench -smoke -wide                 # probe with NumHierarchies 128
 //	mapbench -smoke -wide -wide-nh 512    # longer trial tail
 //
+// Probe the warm-restart path of the persistent artifact tier (the same
+// job set run cold on an empty cache directory and again by a freshly
+// constructed engine on the now populated directory; byte-identical
+// quality is asserted and the wall-clock ratio lands in
+// perf.warm_speedup, the restarted engine's snapshot-serving fraction
+// in perf.disk_hit_rate):
+//
+//	mapbench -smoke -warm                       # temp dir, self-cleaning
+//	mapbench -smoke -warm -warm-dir /tmp/cache  # inspectable snapshots
+//
 // Gate against a baseline (nonzero exit on regression):
 //
 //	mapbench -smoke -out BENCH_results.json -baseline BENCH_baseline.json
@@ -67,6 +77,8 @@ func main() {
 		graphLCC   = flag.Bool("graph-lcc", false, "restrict -graph datasets to their largest connected component")
 		wide       = flag.Bool("wide", false, "also run the wide-mode probe (one big job, sequential vs wide; records perf.wide_speedup)")
 		wideNH     = flag.Int("wide-nh", 0, "NumHierarchies of the wide probe job (default 128)")
+		warm       = flag.Bool("warm", false, "also run the warm-restart probe (same jobs, cold vs restarted engine on a shared cache dir; records perf.warm_speedup and perf.disk_hit_rate)")
+		warmDir    = flag.String("warm-dir", "", "cache directory of the warm probe (default: a fresh temp dir, removed afterwards)")
 	)
 	var graphs stringList
 	flag.Var(&graphs, "graph", "add a real dataset file (SNAP/Matrix Market/METIS) as matrix cells; repeatable")
@@ -104,6 +116,22 @@ func main() {
 		}
 		results.Perf.WideSpeedup = probe.Speedup
 		results.Perf.WideWidth = probe.Width
+	}
+
+	if *warm && *diffFile == "" {
+		probe, perr := bench.RunWarmProbe(bench.WarmProbe{
+			Workers: *workers,
+			Seed:    *seed,
+			Dir:     *warmDir,
+		}, progress(*quiet))
+		if perr != nil {
+			fatal(perr)
+		}
+		if results.Perf == nil {
+			results.Perf = &bench.RunPerf{}
+		}
+		results.Perf.WarmSpeedup = probe.Speedup
+		results.Perf.DiskHitRate = probe.DiskHitRate
 	}
 
 	if *out != "" {
@@ -238,6 +266,10 @@ func printSummary(r *bench.Results) {
 		if r.Perf.WideSpeedup > 0 {
 			fmt.Printf("  wide probe: %.2fx speedup at width %d\n",
 				r.Perf.WideSpeedup, r.Perf.WideWidth)
+		}
+		if r.Perf.WarmSpeedup > 0 {
+			fmt.Printf("  warm probe: %.2fx restart speedup, disk hit rate %.2f\n",
+				r.Perf.WarmSpeedup, r.Perf.DiskHitRate)
 		}
 	}
 	// Base-vs-enhancement split: the two stages this repository's hot

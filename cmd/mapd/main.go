@@ -7,6 +7,10 @@
 //	mapd                                     # listen on :8080
 //	mapd -addr :9000 -workers 8 -queue 256
 //	mapd -prewarm grid:16x16,hypercube:8     # build labelings at boot
+//	mapd -cache-dir /var/cache/mapd          # persistent artifact tier:
+//	                                         # restarts warm-start from
+//	                                         # the previous process's
+//	                                         # graphs and partitions
 //
 // Example session:
 //
@@ -23,6 +27,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"strings"
 	"time"
 
@@ -39,10 +44,23 @@ func main() {
 		withPprof = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 		wideThr   = flag.Float64("wide-threshold", 0, "pool-occupancy fraction below which jobs widen onto idle workers (0 = default 0.5, negative = only jobs with \"wide\": true)")
 		maxUpload = flag.Int64("max-upload", 0, "request-body / graph-upload size cap in bytes (0 = default 64 MiB)")
+		cacheDir  = flag.String("cache-dir", "", "directory of the persistent artifact tier (empty = memory-only; restarts with the same dir are served from disk snapshots)")
+		cacheDisk = flag.Int64("cache-disk-bytes", 0, "byte budget of the disk tier's LRU sweep (0 = default 2 GiB)")
 	)
 	flag.Parse()
 
-	eng := engine.New(engine.Options{Workers: *workers, QueueCap: *queue, WideThreshold: *wideThr})
+	if *cacheDir != "" {
+		// The engine degrades to memory-only on a bad cache directory (it
+		// has no error return); an operator who asked for persistence
+		// should instead fail fast at boot.
+		if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
+			log.Fatal(fmt.Errorf("mapd: -cache-dir: %w", err))
+		}
+	}
+	eng := engine.New(engine.Options{
+		Workers: *workers, QueueCap: *queue, WideThreshold: *wideThr,
+		CacheDir: *cacheDir, DiskCacheBytes: *cacheDisk,
+	})
 	defer eng.Close()
 
 	if *prewarm != "" {

@@ -13,9 +13,12 @@
 //	mapingest -lcc -weights sum roads.mtx   # largest component, summed
 //
 // Convert to the METIS format the rest of the toolchain reads
-// natively (single input only):
+// natively, or — with a .csrbin suffix — to the binary CSR snapshot
+// format the engine's disk cache speaks (checksummed, mmap-loadable;
+// the note field records the source path; single input only):
 //
 //	mapingest -o ca-GrQc.graph ca-GrQc.txt
+//	mapingest -o ca-GrQc.csrbin ca-GrQc.txt
 //	mapingest -o lcc.graph -lcc -remap lcc.ids ca-GrQc.txt
 //
 // The -remap file records one original vertex id per line (line i =
@@ -28,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/ingest"
 )
@@ -39,7 +43,7 @@ func main() {
 		lcc      = flag.Bool("lcc", false, "keep only the largest connected component")
 		workers  = flag.Int("workers", 0, "parallel fill shards (default GOMAXPROCS, capped at 8)")
 		jsonOut  = flag.Bool("json", false, "print machine-readable JSON instead of text")
-		outFile  = flag.String("o", "", "convert the (single) input to this METIS file")
+		outFile  = flag.String("o", "", "convert the (single) input to this file: METIS text, or the binary CSR snapshot format if the name ends in .csrbin")
 		remapOut = flag.String("remap", "", "write the CSR→original vertex id table to this file")
 	)
 	flag.Parse()
@@ -70,7 +74,12 @@ func main() {
 			fatal(err)
 		}
 		if *outFile != "" {
-			if err := res.Graph.WriteMETISFile(*outFile); err != nil {
+			if strings.HasSuffix(*outFile, ".csrbin") {
+				err = res.Graph.WriteSnapshot(*outFile, path)
+			} else {
+				err = res.Graph.WriteMETISFile(*outFile)
+			}
+			if err != nil {
 				fatal(err)
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *outFile)

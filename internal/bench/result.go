@@ -136,6 +136,14 @@ type RunPerf struct {
 	// stripped before determinism comparisons.
 	WideSpeedup float64 `json:"wide_speedup,omitempty"`
 	WideWidth   int     `json:"wide_width,omitempty"`
+	// WarmSpeedup and DiskHitRate record the warm-restart probe when the
+	// run included one (mapbench -warm): the cold/warm wall-clock ratio
+	// of the same job set re-run by a restarted engine on a shared cache
+	// directory, and the fraction of the warm run's disk lookups served
+	// from verified snapshot files. Zero when no probe ran. Like every
+	// other perf field, stripped before determinism comparisons.
+	WarmSpeedup float64 `json:"warm_speedup,omitempty"`
+	DiskHitRate float64 `json:"disk_hit_rate,omitempty"`
 }
 
 // Results is the machine-readable outcome of one matrix run — the

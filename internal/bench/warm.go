@@ -1,0 +1,208 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// WarmProbe configures the warm-restart probe: the same job set run
+// twice by two engine *processes* in miniature — a cold engine on an
+// empty cache directory, then a freshly constructed engine on the now
+// populated directory — with byte-identical quality enforced and the
+// wall-clock ratio reported (mapbench -warm; recorded in
+// BENCH_results.json as perf.warm_speedup and perf.disk_hit_rate).
+//
+// The probe submits generated-graph specs (network + scale + seed, no
+// pinned graph), so both netgen materialization and multilevel
+// partitioning flow through the artifact cache and, on the warm run,
+// are served from verified disk snapshots instead of recomputed. The
+// warm engine starts with empty memory tiers and warm nothing except
+// the directory — exactly a service restart.
+type WarmProbe struct {
+	// Workers sizes both engines' pools (default GOMAXPROCS).
+	Workers int `json:"workers"`
+	// Seed offsets the job seeds (default 1). Each job's seed feeds both
+	// netgen and the partitioner, so distinct seeds mean distinct cold
+	// artifacts.
+	Seed int64 `json:"seed"`
+	// NumHierarchies sizes the enhancement stage of every job (default
+	// 6 — small, so the cacheable stages dominate and the probe measures
+	// the restart story rather than TIMER).
+	NumHierarchies int `json:"num_hierarchies"`
+	// Dir is the shared cache directory. Empty means a fresh temporary
+	// directory, removed when the probe returns — the self-contained CI
+	// configuration. A caller-provided directory is kept (and must be
+	// empty or absent for the speedup to measure a true cold start).
+	Dir string `json:"dir,omitempty"`
+}
+
+func (p WarmProbe) withDefaults() WarmProbe {
+	if p.Workers <= 0 {
+		p.Workers = runtime.GOMAXPROCS(0)
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.NumHierarchies <= 0 {
+		p.NumHierarchies = 6
+	}
+	return p
+}
+
+// jobs builds the probe's job set: the smoke networks at half scale on
+// two topologies, three seeds each — twelve jobs whose graphs and
+// partitions are all distinct artifacts, so the cold run pays netgen
+// plus multilevel partitioning twelve times and the warm run loads
+// twelve snapshot pairs. Assignments are included so the equivalence
+// check compares full mapping vectors, not just scalar metrics.
+func (p WarmProbe) jobs() []engine.JobSpec {
+	var specs []engine.JobSpec
+	for _, net := range []string{"p2p-Gnutella", "PGPgiantcompo"} {
+		for _, topo := range []string{"grid:8x8", "hypercube:6"} {
+			for s := int64(0); s < 3; s++ {
+				specs = append(specs, engine.JobSpec{
+					Graph:             engine.GraphSpec{Network: net, Scale: 0.5},
+					Topology:          topo,
+					Case:              engine.C2Identity,
+					Seed:              p.Seed + s,
+					NumHierarchies:    p.NumHierarchies,
+					IncludeAssignment: true,
+				})
+			}
+		}
+	}
+	return specs
+}
+
+// WarmProbeResult reports one probe: identical quality across the cold
+// and warm runs is asserted before it is returned, so Speedup is a pure
+// wall-clock statement about a restart on a shared cache directory.
+type WarmProbeResult struct {
+	Probe WarmProbe `json:"probe"`
+	// Jobs is the number of jobs each run executed.
+	Jobs int `json:"jobs"`
+	// ColdSeconds and WarmSeconds are the end-to-end wall times of the
+	// two runs (submit to last completion, engine construction excluded).
+	ColdSeconds float64 `json:"cold_seconds"`
+	WarmSeconds float64 `json:"warm_seconds"`
+	// Speedup is ColdSeconds / WarmSeconds — the warm-restart payoff.
+	Speedup float64 `json:"speedup"`
+	// DiskHits/DiskMisses/DiskHitRate describe the warm engine's disk
+	// tier: every graph and partition the cold run persisted should be a
+	// hit, so the rate is expected near 1 and the probe fails at 0.
+	DiskHits    int64   `json:"disk_hits"`
+	DiskMisses  int64   `json:"disk_misses"`
+	DiskHitRate float64 `json:"disk_hit_rate"`
+}
+
+// runWarmSet executes the probe's job set on a fresh engine attached to
+// dir, returning the per-job results (spec order) and the run's wall
+// time and disk stats. The engine is closed before returning, so its
+// write-through snapshots are on disk for the next run.
+func runWarmSet(p WarmProbe, dir string) ([]engine.JobResult, float64, engine.DiskStats, error) {
+	var ds engine.DiskStats
+	eng := engine.New(engine.Options{Workers: p.Workers, CacheDir: dir})
+	defer eng.Close()
+	if st := eng.Stats(); st.Artifacts == nil || st.Artifacts.Disk == nil || st.Artifacts.Disk.Error != "" {
+		msg := "disk tier missing"
+		if st.Artifacts != nil && st.Artifacts.Disk != nil {
+			msg = st.Artifacts.Disk.Error
+		}
+		return nil, 0, ds, fmt.Errorf("bench: warm probe: cache dir %s unusable: %s", dir, msg)
+	}
+	specs := p.jobs()
+	t0 := time.Now()
+	ids := make([]string, len(specs))
+	for i, spec := range specs {
+		job, err := eng.Submit(spec)
+		if err != nil {
+			return nil, 0, ds, fmt.Errorf("bench: warm probe submit: %w", err)
+		}
+		ids[i] = job.ID
+	}
+	out := make([]engine.JobResult, len(ids))
+	for i, id := range ids {
+		fin, err := eng.Wait(id)
+		if err != nil {
+			return nil, 0, ds, fmt.Errorf("bench: warm probe wait: %w", err)
+		}
+		if fin.Status != engine.StatusDone {
+			return nil, 0, ds, fmt.Errorf("bench: warm probe job %s failed: %s", id, fin.Error)
+		}
+		out[i] = *fin.Result
+	}
+	wall := time.Since(t0).Seconds()
+	if st := eng.Stats(); st.Artifacts != nil && st.Artifacts.Disk != nil {
+		ds = *st.Artifacts.Disk
+	}
+	return out, wall, ds, nil
+}
+
+// RunWarmProbe measures the persistent artifact tier. A cold engine on
+// an empty cache directory runs the job set (writing snapshots through
+// to disk), is closed, and a second engine — fresh memory caches, same
+// directory — reruns the identical set. If any job's result differs
+// after JobResult.StripPerf, or the warm run's disk tier served
+// nothing, the probe fails: a warm restart that changed the answer (or
+// never touched the cache) is not a warm restart.
+func RunWarmProbe(p WarmProbe, progress func(line string)) (*WarmProbeResult, error) {
+	p = p.withDefaults()
+	if progress == nil {
+		progress = func(string) {}
+	}
+	dir := p.Dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "mapbench-warm-*")
+		if err != nil {
+			return nil, fmt.Errorf("bench: warm probe: %w", err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+
+	progress(fmt.Sprintf("warm probe: cold run on empty cache dir (%d workers)", p.Workers))
+	cold, coldSec, coldDisk, err := runWarmSet(p, dir)
+	if err != nil {
+		return nil, err
+	}
+	if coldDisk.Writes == 0 {
+		return nil, fmt.Errorf("bench: warm probe: cold run persisted no snapshots (dir %s)", dir)
+	}
+
+	progress(fmt.Sprintf("warm probe: restart — fresh engine, same dir (%d snapshot files, %d bytes)",
+		coldDisk.Files, coldDisk.Bytes))
+	warm, warmSec, warmDisk, err := runWarmSet(p, dir)
+	if err != nil {
+		return nil, err
+	}
+
+	for i := range cold {
+		if !reflect.DeepEqual(cold[i].StripPerf(), warm[i].StripPerf()) {
+			return nil, fmt.Errorf("bench: warm probe: job %d result differs across restart (coco %d vs %d) — the disk tier broke determinism",
+				i, warm[i].CocoAfter, cold[i].CocoAfter)
+		}
+	}
+	if warmDisk.Hits == 0 {
+		return nil, fmt.Errorf("bench: warm probe: warm run had zero disk hits (%d misses, %d verify failures) — restart stayed cold",
+			warmDisk.Misses, warmDisk.VerifyFailures)
+	}
+
+	res := &WarmProbeResult{
+		Probe:       p,
+		Jobs:        len(cold),
+		ColdSeconds: coldSec,
+		WarmSeconds: warmSec,
+		Speedup:     coldSec / warmSec,
+		DiskHits:    warmDisk.Hits,
+		DiskMisses:  warmDisk.Misses,
+		DiskHitRate: warmDisk.HitRate(),
+	}
+	progress(fmt.Sprintf("warm probe: cold %.2fs, warm %.2fs -> speedup %.2fx, disk hit rate %.0f%% (quality byte-identical)",
+		res.ColdSeconds, res.WarmSeconds, res.Speedup, 100*res.DiskHitRate))
+	return res, nil
+}

@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunWarmProbe is the restart-equivalence test: RunWarmProbe itself
+// fails unless every job's StripPerf'd result is identical across the
+// engine restart and the warm run was actually served from disk, so a
+// passing probe IS the equivalence proof. The test pins the small
+// NumHierarchies configuration to keep CI time bounded.
+func TestRunWarmProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("warm probe runs the job set twice")
+	}
+	dir := filepath.Join(t.TempDir(), "cache")
+	res, err := RunWarmProbe(WarmProbe{Workers: 2, NumHierarchies: 2, Dir: dir}, nil)
+	if err != nil {
+		t.Fatalf("RunWarmProbe: %v", err)
+	}
+	if res.Jobs != 12 {
+		t.Fatalf("probe ran %d jobs, want 12", res.Jobs)
+	}
+	if res.DiskHitRate <= 0 {
+		t.Fatalf("disk hit rate = %v, want > 0", res.DiskHitRate)
+	}
+	if res.Speedup <= 0 || res.ColdSeconds <= 0 || res.WarmSeconds <= 0 {
+		t.Fatalf("implausible timings: %+v", res)
+	}
+	// The caller-provided directory is kept (only the temp-dir default
+	// is cleaned up) and holds the probe's snapshot files.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("cache dir gone after probe: %v", err)
+	}
+	if len(ents) == 0 {
+		t.Fatal("cache dir empty after probe")
+	}
+}

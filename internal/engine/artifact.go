@@ -47,6 +47,15 @@ type ArtifactCache struct {
 	errorHits     int64
 	evictions     int64
 
+	// disk is the optional persistent second tier (nil when the engine
+	// runs memory-only). Lookup order is memory, then disk, then the
+	// caller's build; both the disk consult and the write-through happen
+	// inside the entry's single-flight build closure, so concurrent
+	// requesters coalesce onto one disk read or one recompute regardless
+	// of which tier ends up serving. Memory evictions re-spill to disk
+	// and Invalidate removes both tiers' entries.
+	disk *diskTier
+
 	// fps memoizes CSR fingerprints of caller-supplied graphs by
 	// pointer (see fingerprintOf).
 	fpMu sync.Mutex
@@ -167,8 +176,16 @@ func (c *ArtifactCache) do(key string, build func() (any, int64, error)) (any, e
 		// skips entries whose ready channel is still open — so the
 		// footprint accounting and the eviction sweep happen exactly once.
 		c.bytes += e.bytes
-		c.evictLocked()
+		spill := c.evictLocked()
 		c.mu.Unlock()
+		// Re-spill evicted values to the disk tier outside the lock (store
+		// skips anything already persisted, so this only does IO for
+		// entries the disk tier has since dropped).
+		for _, ev := range spill {
+			if ev.err == nil {
+				c.disk.store(ev.key, ev.val)
+			}
+		}
 	}
 	defer func() {
 		if r := recover(); r != nil {
@@ -182,32 +199,35 @@ func (c *ArtifactCache) do(key string, build func() (any, int64, error)) (any, e
 	return e.val, e.err
 }
 
-// Invalidate drops the fully-built entry under key, if any, so the
-// next request rebuilds it. Entries still building are left alone —
-// their waiters must observe the build's own outcome. The ingest layer
-// uses this to heal cached failures (a fixed input file, a re-upload
-// after eviction); pipeline artifacts never need it because their
-// builds are deterministic in the key.
+// Invalidate drops the entry under key from every tier — the in-memory
+// entry (if fully built) and the disk tier's snapshot file (if any) —
+// so the next request rebuilds it. In-memory entries still building are
+// left alone: their waiters must observe the build's own outcome. The
+// ingest layer uses this to heal cached failures (a fixed input file, a
+// re-upload after eviction); removing the disk entry too is what keeps
+// a healed failure from being shadowed by a stale artifact
+// resurrecting from disk. Pipeline artifacts never need invalidation
+// because their builds are deterministic in the key.
 func (c *ArtifactCache) Invalidate(key string) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.entries[key]
-	if !ok {
-		return
-	}
-	select {
-	case <-e.ready:
-	default:
-		return // still building
-	}
-	delete(c.entries, key)
-	for i, k := range c.order {
-		if k == key {
-			c.order = append(c.order[:i], c.order[i+1:]...)
-			break
+	if e, ok := c.entries[key]; ok {
+		select {
+		case <-e.ready:
+		default:
+			c.mu.Unlock()
+			return // still building
 		}
+		delete(c.entries, key)
+		for i, k := range c.order {
+			if k == key {
+				c.order = append(c.order[:i], c.order[i+1:]...)
+				break
+			}
+		}
+		c.bytes -= e.bytes
 	}
-	c.bytes -= e.bytes
+	c.mu.Unlock()
+	c.disk.remove(key)
 }
 
 // touchLocked refreshes key's recency. Caller holds c.mu.
@@ -221,10 +241,12 @@ func (c *ArtifactCache) touchLocked(key string) {
 }
 
 // evictLocked drops the least-recently-used fully-built entries while
-// either bound is exceeded. Entries still building are skipped: their
-// waiters must see the close of ready, and their footprint is unknown.
-// Caller holds c.mu.
-func (c *ArtifactCache) evictLocked() {
+// either bound is exceeded, returning them so the caller can re-spill
+// their values to the disk tier after releasing the lock. Entries still
+// building are skipped: their waiters must see the close of ready, and
+// their footprint is unknown. Caller holds c.mu.
+func (c *ArtifactCache) evictLocked() []*artifactEntry {
+	var spill []*artifactEntry
 	for len(c.order) > c.maxEntries || c.bytes > c.maxBytes {
 		evicted := false
 		for i, key := range c.order {
@@ -235,6 +257,7 @@ func (c *ArtifactCache) evictLocked() {
 				c.order = append(c.order[:i], c.order[i+1:]...)
 				c.bytes -= e.bytes
 				c.evictions++
+				spill = append(spill, e)
 				evicted = true
 			default:
 				continue
@@ -242,18 +265,27 @@ func (c *ArtifactCache) evictLocked() {
 			break
 		}
 		if !evicted {
-			return // everything resident is still building
+			break // everything resident is still building
 		}
 	}
+	return spill
 }
 
 // Graph returns the graph cached under key, building it on first use.
+// With a disk tier attached, a memory miss consults disk before
+// running build, and a fresh build is written through.
 func (c *ArtifactCache) Graph(key string, build func() (*graph.Graph, error)) (*graph.Graph, error) {
 	v, err := c.do(key, func() (any, int64, error) {
+		if val, bytes, ok := c.disk.load(key); ok {
+			if g, isGraph := val.(*graph.Graph); isGraph {
+				return g, bytes, nil
+			}
+		}
 		g, err := build()
 		if err != nil {
 			return nil, 0, err
 		}
+		c.disk.store(key, g)
 		return g, g.FootprintBytes(), nil
 	})
 	if err != nil {
@@ -268,16 +300,23 @@ func (c *ArtifactCache) Graph(key string, build func() (*graph.Graph, error)) (*
 
 // Partition returns the partition cached under key, building it on
 // first use. The second return reports whether the result came from the
-// cache (hit or coalesced onto another caller's in-flight build) rather
-// than from this caller's own build.
+// cache — a memory hit, a coalesced wait on another caller's in-flight
+// build, or a verified disk snapshot — rather than from this caller's
+// own build.
 func (c *ArtifactCache) Partition(key string, build func() (*partition.Result, error)) (*partition.Result, bool, error) {
 	var built bool
 	v, err := c.do(key, func() (any, int64, error) {
+		if val, bytes, ok := c.disk.load(key); ok {
+			if p, isPart := val.(*partition.Result); isPart {
+				return p, bytes, nil
+			}
+		}
 		built = true
 		p, err := build()
 		if err != nil {
 			return nil, 0, err
 		}
+		c.disk.store(key, p)
 		// Part dominates; the struct's scalars are noise.
 		return p, int64(len(p.Part))*4 + 64, nil
 	})
@@ -312,6 +351,9 @@ type ArtifactStats struct {
 	InflightWaits int64 `json:"inflight_waits"`
 	ErrorHits     int64 `json:"error_hits,omitempty"`
 	Evictions     int64 `json:"evictions"`
+	// Disk is the persistent tier's snapshot, or nil when the engine
+	// runs memory-only (no Options.CacheDir).
+	Disk *DiskStats `json:"disk,omitempty"`
 }
 
 // HitRate is (Hits+InflightWaits) / all value-producing lookups, or 0
@@ -328,9 +370,15 @@ func (s ArtifactStats) HitRate() float64 {
 
 // Stats returns the cache's counters.
 func (c *ArtifactCache) Stats() ArtifactStats {
+	var disk *DiskStats
+	if c.disk != nil {
+		ds := c.disk.stats()
+		disk = &ds
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return ArtifactStats{
+		Disk:          disk,
 		Entries:       len(c.entries),
 		Bytes:         c.bytes,
 		CapEntries:    c.maxEntries,

@@ -44,6 +44,19 @@ type Options struct {
 	// every job recomputes every stage (the pre-PR-5 behavior).
 	ArtifactCacheEntries int
 	ArtifactCacheBytes   int64
+	// CacheDir, when non-empty, attaches a persistent disk tier to the
+	// artifact cache: memory evictions spill to content-addressed
+	// snapshot files under this directory, misses consult it before
+	// recomputing, and a restarted engine pointed at the same directory
+	// warm-starts from the previous process's artifacts. Multiple
+	// engines may share one directory (writes are atomic and artifacts
+	// deterministic). If the directory cannot be created the engine
+	// runs memory-only and reports the failure via Stats. Ignored when
+	// the artifact cache itself is disabled.
+	CacheDir string
+	// DiskCacheBytes bounds the cache directory's total snapshot bytes
+	// (LRU sweep by file mtime). Zero selects the 2 GiB default.
+	DiskCacheBytes int64
 	// WideThreshold tunes wide mode (intra-job parallelism; see wide.go):
 	// a job is granted helper goroutines while the rest of the pool's
 	// load — other running jobs plus queued jobs — stays within this
@@ -162,6 +175,16 @@ func New(opt Options) *Engine {
 	}
 	if opt.ArtifactCacheEntries >= 0 {
 		e.artifacts = NewArtifactCache(opt.ArtifactCacheEntries, opt.ArtifactCacheBytes)
+		if opt.CacheDir != "" {
+			tier, err := newDiskTier(opt.CacheDir, opt.DiskCacheBytes)
+			if err != nil {
+				// New has no error return; keep the engine serving from
+				// memory and surface the failure through Stats (mapd also
+				// pre-validates the directory so operators fail fast).
+				tier = disabledDiskTier(err)
+			}
+			e.artifacts.disk = tier
+		}
 	}
 	e.wg.Add(opt.Workers)
 	for i := 0; i < opt.Workers; i++ {

@@ -82,6 +82,29 @@ func mixInt64s(hi, lo uint64, xs []int64) (uint64, uint64) {
 	return hi, lo
 }
 
+// FingerprintBytes hashes an arbitrary byte string with the same
+// two-lane splitmix construction as Graph.Fingerprint, for callers
+// that need a filename-safe 128-bit content address of something other
+// than a graph (the engine's disk cache tier hashes artifact keys).
+func FingerprintBytes(b []byte) Fingerprint {
+	hi := mix64(0x0ddba11badc0ffee ^ uint64(len(b)))
+	lo := mix64(0xfeedface0badf00d ^ uint64(len(b))<<1)
+	for len(b) >= 8 {
+		w := uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+			uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+		hi = mix64(hi ^ w)
+		lo = mix64(lo ^ (w + 0x9e3779b97f4a7c15))
+		b = b[8:]
+	}
+	var w uint64
+	for i := len(b) - 1; i >= 0; i-- {
+		w = w<<8 | uint64(b[i])
+	}
+	hi = mix64(hi ^ w)
+	lo = mix64(lo ^ (w + 0x9e3779b97f4a7c15))
+	return Fingerprint{Hi: mix64(hi), Lo: mix64(lo)}
+}
+
 // FootprintBytes returns the heap footprint of the graph's CSR arrays —
 // the size-accounting unit of the engine's artifact cache.
 func (g *Graph) FootprintBytes() int64 {

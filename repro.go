@@ -249,6 +249,23 @@ func ParseTopologySpec(spec string) (string, error) { return topology.Canonicali
 // edge lists or Matrix Market files — use LoadGraphFile.
 func ReadGraph(path string) (*Graph, error) { return graph.ReadMETISFile(path) }
 
+// WriteGraphSnapshot writes g to path in the binary CSR snapshot format
+// (the checksummed, mmap-loadable container the engine's disk cache and
+// mapingest's -o foo.csrbin speak). The write is atomic: a temp file in
+// the destination directory is renamed into place. note is an arbitrary
+// caller string stored verbatim and returned by OpenGraphSnapshot —
+// conventionally a provenance label such as the source path.
+func WriteGraphSnapshot(g *Graph, path, note string) error { return g.WriteSnapshot(path, note) }
+
+// OpenGraphSnapshot loads a snapshot written by WriteGraphSnapshot,
+// returning the graph and the writer's note. The file is verified end
+// to end (container checksum, section shapes, recomputed CSR
+// fingerprint) before anything is returned; truncated, corrupt or
+// stale-version files are an error, never a silently wrong graph. On
+// unix the CSR arrays alias a read-only file mapping, so opening a
+// large snapshot costs a checksum pass plus page-ins, not a parse.
+func OpenGraphSnapshot(path string) (*Graph, string, error) { return graph.OpenSnapshot(path) }
+
 // LoadGraphFile ingests a real-world graph file (SNAP/edge-list,
 // Matrix Market or METIS, auto-detected by default) through the
 // two-pass streaming CSR loader: self-loops dropped, parallel edges
