@@ -40,6 +40,13 @@
 //	mapbench -smoke -warm                       # temp dir, self-cleaning
 //	mapbench -smoke -warm -warm-dir /tmp/cache  # inspectable snapshots
 //
+// Probe the durable job ledger (an engine drained mid-batch, a second
+// engine recovering the batch from the same -job-dir WAL; byte-identical
+// recovery and zero-recompute idempotency are asserted, the counters
+// land in perf.jobs_recovered and perf.dedup_served):
+//
+//	mapbench -smoke -restart
+//
 // Gate against a baseline (nonzero exit on regression):
 //
 //	mapbench -smoke -out BENCH_results.json -baseline BENCH_baseline.json
@@ -79,6 +86,8 @@ func main() {
 		wideNH     = flag.Int("wide-nh", 0, "NumHierarchies of the wide probe job (default 128)")
 		warm       = flag.Bool("warm", false, "also run the warm-restart probe (same jobs, cold vs restarted engine on a shared cache dir; records perf.warm_speedup and perf.disk_hit_rate)")
 		warmDir    = flag.String("warm-dir", "", "cache directory of the warm probe (default: a fresh temp dir, removed afterwards)")
+		restart    = flag.Bool("restart", false, "also run the crash-restart probe (engine drained mid-batch, recovered from its job ledger byte-identical; records perf.jobs_recovered and perf.dedup_served)")
+		restartDir = flag.String("restart-dir", "", "job-ledger directory of the restart probe (default: a fresh temp dir, removed afterwards)")
 	)
 	var graphs stringList
 	flag.Var(&graphs, "graph", "add a real dataset file (SNAP/Matrix Market/METIS) as matrix cells; repeatable")
@@ -132,6 +141,22 @@ func main() {
 		}
 		results.Perf.WarmSpeedup = probe.Speedup
 		results.Perf.DiskHitRate = probe.DiskHitRate
+	}
+
+	if *restart && *diffFile == "" {
+		probe, perr := bench.RunRestartProbe(bench.RestartProbe{
+			Workers: *workers,
+			Seed:    *seed,
+			Dir:     *restartDir,
+		}, progress(*quiet))
+		if perr != nil {
+			fatal(perr)
+		}
+		if results.Perf == nil {
+			results.Perf = &bench.RunPerf{}
+		}
+		results.Perf.JobsRecovered = probe.Recovered
+		results.Perf.DedupServed = probe.DedupServed
 	}
 
 	if *out != "" {
@@ -270,6 +295,10 @@ func printSummary(r *bench.Results) {
 		if r.Perf.WarmSpeedup > 0 {
 			fmt.Printf("  warm probe: %.2fx restart speedup, disk hit rate %.2f\n",
 				r.Perf.WarmSpeedup, r.Perf.DiskHitRate)
+		}
+		if r.Perf.JobsRecovered > 0 {
+			fmt.Printf("  restart probe: %d jobs recovered byte-identical, %d duplicates ledger-served\n",
+				r.Perf.JobsRecovered, r.Perf.DedupServed)
 		}
 	}
 	// Base-vs-enhancement split: the two stages this repository's hot

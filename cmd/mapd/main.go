@@ -11,6 +11,13 @@
 //	                                         # restarts warm-start from
 //	                                         # the previous process's
 //	                                         # graphs and partitions
+//	mapd -job-dir /var/lib/mapd/jobs         # durable job ledger: a
+//	                                         # restart requeues unfinished
+//	                                         # jobs and re-serves finished
+//	                                         # ones by their old IDs
+//	mapd -quota 2 -quota-burst 5             # per-client admission quota;
+//	                                         # over-quota submissions get
+//	                                         # 429 + Retry-After
 //
 // Example session:
 //
@@ -23,12 +30,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/engine"
@@ -46,22 +57,34 @@ func main() {
 		maxUpload = flag.Int64("max-upload", 0, "request-body / graph-upload size cap in bytes (0 = default 64 MiB)")
 		cacheDir  = flag.String("cache-dir", "", "directory of the persistent artifact tier (empty = memory-only; restarts with the same dir are served from disk snapshots)")
 		cacheDisk = flag.Int64("cache-disk-bytes", 0, "byte budget of the disk tier's LRU sweep (0 = default 2 GiB)")
+		jobDir    = flag.String("job-dir", "", "directory of the durable job ledger (empty = jobs die with the process; restarts with the same dir requeue unfinished jobs and re-serve finished ones)")
+		drainWait = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM/SIGINT shutdown waits for running jobs before exiting")
+		quota     = flag.Float64("quota", 0, "per-client submission quota in requests/second, keyed by X-Client-ID or remote host (0 = unlimited); over-quota requests get 429 + Retry-After")
+		quotaBur  = flag.Int("quota-burst", 0, "per-client burst above -quota (0 = 2x the rate, minimum 1)")
 	)
 	flag.Parse()
 
-	if *cacheDir != "" {
-		// The engine degrades to memory-only on a bad cache directory (it
-		// has no error return); an operator who asked for persistence
-		// should instead fail fast at boot.
-		if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
-			log.Fatal(fmt.Errorf("mapd: -cache-dir: %w", err))
+	for _, d := range []struct{ flag, dir string }{{"-cache-dir", *cacheDir}, {"-job-dir", *jobDir}} {
+		if d.dir == "" {
+			continue
+		}
+		// The engine degrades (memory-only cache, non-durable jobs) on a
+		// bad directory — it has no error return; an operator who asked
+		// for persistence should instead fail fast at boot.
+		if err := os.MkdirAll(d.dir, 0o755); err != nil {
+			log.Fatal(fmt.Errorf("mapd: %s: %w", d.flag, err))
 		}
 	}
 	eng := engine.New(engine.Options{
 		Workers: *workers, QueueCap: *queue, WideThreshold: *wideThr,
-		CacheDir: *cacheDir, DiskCacheBytes: *cacheDisk,
+		CacheDir: *cacheDir, DiskCacheBytes: *cacheDisk, JobDir: *jobDir,
 	})
-	defer eng.Close()
+	if st := eng.Stats().JobStore; st != nil {
+		if st.Error != "" {
+			log.Fatal(fmt.Errorf("mapd: -job-dir: %s", st.Error))
+		}
+		log.Printf("mapd: job ledger %s: %d records replayed, %d unfinished jobs requeued", st.Dir, st.WALRecords, st.JobsRecovered)
+	}
 
 	if *prewarm != "" {
 		specs := strings.Split(*prewarm, ",")
@@ -80,15 +103,47 @@ func main() {
 		log.Printf("mapd: pprof enabled under /debug/pprof/")
 	}
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           newServer(eng, *withPprof, *maxUpload),
+		Addr: *addr,
+		Handler: newServer(eng, serverConfig{
+			Pprof: *withPprof, MaxBody: *maxUpload,
+			QuotaRate: *quota, QuotaBurst: *quotaBur,
+		}),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       60 * time.Second,
 		WriteTimeout:      60 * time.Second,
 		IdleTimeout:       120 * time.Second,
 	}
-	log.Printf("mapd: listening on %s (%d workers)", *addr, eng.Workers())
-	if err := srv.ListenAndServe(); err != nil {
-		log.Fatal(fmt.Errorf("mapd: %w", err))
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("mapd: listening on %s (%d workers)", *addr, eng.Workers())
+		errCh <- srv.ListenAndServe()
+	}()
+
+	// Graceful shutdown on SIGINT/SIGTERM, with or without a job
+	// ledger: begin draining first so parked ?wait=1 handlers release
+	// with 503 + Retry-After and Shutdown can finish, then stop the
+	// listener, then drain the engine — running jobs get -drain-timeout
+	// to complete, queued jobs are handed back to the ledger (or, with
+	// no -job-dir, finished as interrupted) instead of being silently
+	// lost mid-execution.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(fmt.Errorf("mapd: %w", err))
+		}
+	case sig := <-sigCh:
+		log.Printf("mapd: %s: draining (timeout %s)", sig, *drainWait)
+		eng.BeginDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("mapd: http shutdown: %v", err)
+		}
+		cancel()
+		if err := eng.DrainAndClose(*drainWait); err != nil {
+			log.Fatal(fmt.Errorf("mapd: %w", err))
+		}
+		log.Printf("mapd: drained cleanly")
 	}
 }

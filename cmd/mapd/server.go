@@ -9,7 +9,9 @@ import (
 	"net/http/pprof"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/engine"
@@ -40,18 +42,31 @@ type server struct {
 	// maxBody caps request bodies (job specs, batch specs and graph
 	// uploads alike); 0 selects maxBodyBytes.
 	maxBody int64
+	// limit is the per-client admission limiter; nil admits everything.
+	limit *limiter
 }
 
-// newServer builds the mapd HTTP handler around an engine. withPprof
-// additionally mounts net/http/pprof under /debug/pprof/ — opt-in,
-// because profiling endpoints on a production port are an operational
-// decision, not a default. maxBody caps request bodies in bytes (0 =
-// the 64 MiB default).
-func newServer(eng *engine.Engine, withPprof bool, maxBody int64) http.Handler {
+// serverConfig bundles newServer's knobs, all optional: Pprof mounts
+// net/http/pprof under /debug/pprof/ (opt-in — profiling endpoints on
+// a production port are an operational decision, not a default),
+// MaxBody caps request bodies in bytes (0 = the 64 MiB default), and
+// QuotaRate/QuotaBurst configure per-client submission quotas (0 =
+// unlimited; see admission.go).
+type serverConfig struct {
+	Pprof      bool
+	MaxBody    int64
+	QuotaRate  float64
+	QuotaBurst int
+}
+
+// newServer builds the mapd HTTP handler around an engine.
+func newServer(eng *engine.Engine, cfg serverConfig) http.Handler {
+	maxBody := cfg.MaxBody
 	if maxBody <= 0 {
 		maxBody = maxBodyBytes
 	}
-	s := &server{eng: eng, maxBody: maxBody}
+	withPprof := cfg.Pprof
+	s := &server{eng: eng, maxBody: maxBody, limit: newLimiter(cfg.QuotaRate, cfg.QuotaBurst)}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.submitJob)
 	mux.HandleFunc("POST /v1/batches", s.submitBatch)
@@ -88,12 +103,50 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// shed refuses a request with a Retry-After header: 429 for overload
+// (quota, queue at capacity), 503 for a draining server. Every shed is
+// counted for /v1/stats.
+func shed(w http.ResponseWriter, status int, retryAfter time.Duration, err error) {
+	shedTotal.Add(1)
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(retryAfter)))
+	writeError(w, status, err)
+}
+
+// admit runs the submission-path admission checks shared by jobs and
+// batches: a draining engine sheds with 503 (come back after the
+// restart), an over-quota client with 429. Reports whether the request
+// may proceed.
+func (s *server) admit(w http.ResponseWriter, r *http.Request) bool {
+	if s.eng.Draining() {
+		shed(w, http.StatusServiceUnavailable, drainRetryAfter, engine.ErrDraining)
+		return false
+	}
+	if ok, wait := s.limit.allow(clientKey(r), time.Now()); !ok {
+		shed(w, http.StatusTooManyRequests, wait,
+			fmt.Errorf("client %q over submission quota", clientKey(r)))
+		return false
+	}
+	return true
+}
+
+// drainRetryAfter is the Retry-After handed out while draining: long
+// enough for a restart to come back, short enough that clients re-home
+// quickly.
+const drainRetryAfter = 5 * time.Second
+
+// queueFullRetryAfter is the Retry-After for a queue at capacity; the
+// queue drains at job-pipeline speed, so a short backoff suffices.
+const queueFullRetryAfter = 1 * time.Second
+
 // maxBodyBytes is the default request-body cap (-max-upload overrides
 // it): a single oversized inline edge list or graph upload must not be
 // able to exhaust the server's memory.
 const maxBodyBytes = 64 << 20
 
 func (s *server) submitJob(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w, r) {
+		return
+	}
 	var spec engine.JobSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
 	dec.DisallowUnknownFields()
@@ -102,14 +155,24 @@ func (s *server) submitJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	job, err := s.eng.Submit(spec)
-	if err != nil {
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, job)
+	case errors.Is(err, engine.ErrQueueFull):
+		// Overload, not outage: the client should back off and retry,
+		// which is exactly what 429 + Retry-After says.
+		shed(w, http.StatusTooManyRequests, queueFullRetryAfter, err)
+	case errors.Is(err, engine.ErrDraining):
+		shed(w, http.StatusServiceUnavailable, drainRetryAfter, err)
+	default:
 		writeError(w, http.StatusServiceUnavailable, err)
-		return
 	}
-	writeJSON(w, http.StatusAccepted, job)
 }
 
 func (s *server) submitBatch(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w, r) {
+		return
+	}
 	var spec engine.BatchSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
 	dec.DisallowUnknownFields()
@@ -121,9 +184,19 @@ func (s *server) submitBatch(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// Jobs enqueued before the failure keep running; hand their IDs
 		// back so the client can still track or wait on them. Capacity
-		// errors are transient and retryable, hence 503 rather than 400.
+		// and drain errors are transient and retryable: they shed with a
+		// Retry-After (429 overload / 503 draining) rather than 400.
 		status := http.StatusBadRequest
-		if errors.Is(err, engine.ErrQueueFull) || errors.Is(err, engine.ErrClosed) {
+		switch {
+		case errors.Is(err, engine.ErrQueueFull):
+			shedTotal.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(queueFullRetryAfter)))
+			status = http.StatusTooManyRequests
+		case errors.Is(err, engine.ErrDraining):
+			shedTotal.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(drainRetryAfter)))
+			status = http.StatusServiceUnavailable
+		case errors.Is(err, engine.ErrClosed):
 			status = http.StatusServiceUnavailable
 		}
 		writeJSON(w, status, map[string]any{
@@ -163,6 +236,11 @@ func (s *server) getJob(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case err == nil:
 			writeJSON(w, http.StatusOK, job)
+		case errors.Is(err, engine.ErrDraining):
+			// A draining server releases its waiters instead of holding
+			// them across the shutdown: retry after the restart, when the
+			// job will have been recovered from the ledger.
+			shed(w, http.StatusServiceUnavailable, drainRetryAfter, err)
 		case r.Context().Err() != nil:
 			// Client gone; nothing useful can be written.
 		default:
@@ -329,18 +407,23 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 	var mem runtime.MemStats
 	runtime.ReadMemStats(&mem)
 	hits, misses := s.eng.Cache().Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	payload := map[string]any{
 		"engine":            s.eng.Stats(),
 		"goroutines":        runtime.NumGoroutine(),
 		"heap_alloc_bytes":  mem.HeapAlloc,
 		"total_alloc_bytes": mem.TotalAlloc,
 		"num_gc":            mem.NumGC,
+		"shed_total":        shedTotal.Load(),
 		"topology_cache": map[string]any{
 			"entries": len(s.eng.Cache().Snapshot()),
 			"hits":    hits,
 			"misses":  misses,
 		},
-	})
+	}
+	if adm := s.limit.snapshot(); adm != nil {
+		payload["admission"] = adm
+	}
+	writeJSON(w, http.StatusOK, payload)
 }
 
 func (s *server) healthz(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// RestartProbe configures the crash-restart probe: the durability
+// acceptance test run as a benchmark (mapbench -restart; recorded in
+// BENCH_results.json as perf.jobs_recovered and perf.dedup_served).
+// Three engines run in sequence:
+//
+//  1. a reference engine (no ledger) computes the job set's expected
+//     results;
+//  2. an interrupted engine on a fresh job ledger runs the same set on
+//     a single worker and is drained after the first completion, so
+//     most of the batch is handed back to the ledger as interrupted;
+//  3. a recovery engine on the same ledger replays the WAL, requeues
+//     the interrupted jobs under their original IDs, and must finish
+//     every job byte-identical (StripPerf DeepEqual) to the reference —
+//     after which the whole set is resubmitted and must be served from
+//     the ledger with zero recomputes.
+type RestartProbe struct {
+	// Workers sizes the reference and recovery engines (default
+	// GOMAXPROCS); the interrupted engine always runs one worker so the
+	// drain deterministically catches most of the batch still queued.
+	Workers int `json:"workers"`
+	// Seed offsets the job seeds (default 1).
+	Seed int64 `json:"seed"`
+	// NumHierarchies sizes the enhancement stage of every job (default
+	// 8 — enough work that the drain lands mid-batch).
+	NumHierarchies int `json:"num_hierarchies"`
+	// Dir is the job ledger directory. Empty means a fresh temporary
+	// directory, removed when the probe returns.
+	Dir string `json:"dir,omitempty"`
+}
+
+func (p RestartProbe) withDefaults() RestartProbe {
+	if p.Workers <= 0 {
+		p.Workers = runtime.GOMAXPROCS(0)
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.NumHierarchies <= 0 {
+		p.NumHierarchies = 8
+	}
+	return p
+}
+
+// jobs builds the probe's job set: eight generated-graph jobs with
+// distinct seeds, every one a distinct ledger entry.
+func (p RestartProbe) jobs() []engine.JobSpec {
+	var specs []engine.JobSpec
+	for _, topo := range []string{"grid:8x8", "hypercube:6"} {
+		for s := int64(0); s < 4; s++ {
+			specs = append(specs, engine.JobSpec{
+				Graph:          engine.GraphSpec{Network: "p2p-Gnutella", Scale: 0.25},
+				Topology:       topo,
+				Case:           engine.C2Identity,
+				Seed:           p.Seed + s,
+				NumHierarchies: p.NumHierarchies,
+			})
+		}
+	}
+	return specs
+}
+
+// RestartProbeResult reports one crash-restart probe. Byte-identical
+// recovery is asserted before it is returned, so the counters are a
+// statement about a verified restart, not a hopeful one.
+type RestartProbeResult struct {
+	Probe RestartProbe `json:"probe"`
+	// Jobs is the job-set size; Interrupted how many the drain handed
+	// back to the ledger; Recovered how many the restarted engine
+	// requeued (the two must match).
+	Jobs        int `json:"jobs"`
+	Interrupted int `json:"interrupted"`
+	Recovered   int `json:"jobs_recovered"`
+	// DedupServed counts the resubmitted duplicates served from the
+	// ledger (equal to Jobs on success — zero recomputes).
+	DedupServed int64 `json:"dedup_served"`
+	// WALRecords and WALBytes snapshot the ledger after recovery.
+	WALRecords int64 `json:"wal_records"`
+	WALBytes   int64 `json:"wal_bytes"`
+	// RecoverySeconds is the wall time from recovery-engine construction
+	// to the last recovered job's completion.
+	RecoverySeconds float64 `json:"recovery_seconds"`
+}
+
+// RunRestartProbe measures (and proves) the durable job ledger: an
+// engine is drained mid-batch, a second engine on the same ledger must
+// finish the batch byte-identical to an uninterrupted reference, and
+// duplicate submissions must be served without recomputing.
+func RunRestartProbe(p RestartProbe, progress func(line string)) (*RestartProbeResult, error) {
+	p = p.withDefaults()
+	if progress == nil {
+		progress = func(string) {}
+	}
+	dir := p.Dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "mapbench-restart-*")
+		if err != nil {
+			return nil, fmt.Errorf("bench: restart probe: %w", err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	specs := p.jobs()
+
+	// Reference: an uninterrupted engine with no ledger.
+	progress(fmt.Sprintf("restart probe: reference run (%d jobs, %d workers)", len(specs), p.Workers))
+	ref := engine.New(engine.Options{Workers: p.Workers})
+	want := make([]engine.JobResult, len(specs))
+	for i, spec := range specs {
+		res, err := ref.Run(spec)
+		if err != nil {
+			ref.Close()
+			return nil, fmt.Errorf("bench: restart probe reference: %w", err)
+		}
+		want[i] = res.StripPerf()
+	}
+	ref.Close()
+
+	// Interrupted run: single worker, drained after the first
+	// completion, so the tail of the batch is interrupted while queued.
+	eng := engine.New(engine.Options{Workers: 1, JobDir: dir})
+	ids := make([]string, len(specs))
+	for i, spec := range specs {
+		job, err := eng.Submit(spec)
+		if err != nil {
+			return nil, fmt.Errorf("bench: restart probe submit: %w", err)
+		}
+		ids[i] = job.ID
+	}
+	if _, err := eng.Wait(ids[0]); err != nil {
+		return nil, fmt.Errorf("bench: restart probe: %w", err)
+	}
+	if err := eng.DrainAndClose(5 * time.Minute); err != nil {
+		return nil, fmt.Errorf("bench: restart probe drain: %w", err)
+	}
+	interrupted := 0
+	for _, id := range ids {
+		if job, ok := eng.Get(id); ok && job.Status == engine.StatusInterrupted {
+			interrupted++
+		}
+	}
+	if interrupted == 0 {
+		return nil, fmt.Errorf("bench: restart probe: drain interrupted nothing — the batch finished before the drain")
+	}
+	progress(fmt.Sprintf("restart probe: drained mid-batch — %d of %d jobs interrupted, ledger at %s",
+		interrupted, len(specs), dir))
+
+	// Recovery: a fresh engine on the same ledger.
+	t0 := time.Now()
+	rec := engine.New(engine.Options{Workers: p.Workers, JobDir: dir})
+	defer rec.Close()
+	st := rec.Stats()
+	if st.JobStore == nil || st.JobStore.Error != "" {
+		return nil, fmt.Errorf("bench: restart probe: recovery engine has no ledger: %+v", st.JobStore)
+	}
+	if st.JobStore.JobsRecovered != interrupted {
+		return nil, fmt.Errorf("bench: restart probe: recovered %d jobs, want %d", st.JobStore.JobsRecovered, interrupted)
+	}
+	for i, id := range ids {
+		job, err := rec.Wait(id)
+		if err != nil {
+			return nil, fmt.Errorf("bench: restart probe recovery wait: %w", err)
+		}
+		if job.Status != engine.StatusDone {
+			return nil, fmt.Errorf("bench: restart probe: job %s finished %s after recovery: %s", id, job.Status, job.Error)
+		}
+		if !reflect.DeepEqual(job.Result.StripPerf(), want[i]) {
+			return nil, fmt.Errorf("bench: restart probe: job %s diverged after restart (coco %d, want %d) — recovery broke determinism",
+				id, job.Result.CocoAfter, want[i].CocoAfter)
+		}
+	}
+	recoverySec := time.Since(t0).Seconds()
+
+	// Idempotency: the whole set again, zero recomputes allowed.
+	served := rec.Stats().JobsServed
+	for i, spec := range specs {
+		dup, err := rec.Submit(spec)
+		if err != nil {
+			return nil, fmt.Errorf("bench: restart probe resubmit: %w", err)
+		}
+		if dup.Status != engine.StatusDone || dup.Result == nil || !dup.Result.ServedFromLedger {
+			return nil, fmt.Errorf("bench: restart probe: duplicate %d not served from ledger", i)
+		}
+	}
+	st = rec.Stats()
+	if st.JobsServed != served {
+		return nil, fmt.Errorf("bench: restart probe: duplicates recomputed (%d jobs served during resubmission)", st.JobsServed-served)
+	}
+
+	res := &RestartProbeResult{
+		Probe:           p,
+		Jobs:            len(specs),
+		Interrupted:     interrupted,
+		Recovered:       st.JobStore.JobsRecovered,
+		DedupServed:     st.JobStore.DedupServed,
+		WALRecords:      st.JobStore.WALRecords,
+		WALBytes:        st.JobStore.WALBytes,
+		RecoverySeconds: recoverySec,
+	}
+	progress(fmt.Sprintf("restart probe: %d interrupted jobs recovered byte-identical in %.2fs, %d duplicates ledger-served (0 recomputes), WAL %d records / %d bytes",
+		res.Recovered, res.RecoverySeconds, res.DedupServed, res.WALRecords, res.WALBytes))
+	return res, nil
+}

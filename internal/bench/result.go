@@ -144,6 +144,14 @@ type RunPerf struct {
 	// other perf field, stripped before determinism comparisons.
 	WarmSpeedup float64 `json:"warm_speedup,omitempty"`
 	DiskHitRate float64 `json:"disk_hit_rate,omitempty"`
+	// JobsRecovered and DedupServed record the crash-restart probe when
+	// the run included one (mapbench -restart): how many interrupted
+	// jobs the restarted engine requeued and finished byte-identical to
+	// the uninterrupted reference, and how many duplicate submissions
+	// were served from the job ledger without recomputing. Zero when no
+	// probe ran.
+	JobsRecovered int   `json:"jobs_recovered,omitempty"`
+	DedupServed   int64 `json:"dedup_served,omitempty"`
 }
 
 // Results is the machine-readable outcome of one matrix run — the

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/jobstore"
 	"repro/internal/mapping"
 	"repro/internal/topology"
 )
@@ -57,6 +59,17 @@ type Options struct {
 	// DiskCacheBytes bounds the cache directory's total snapshot bytes
 	// (LRU sweep by file mtime). Zero selects the 2 GiB default.
 	DiskCacheBytes int64
+	// JobDir, when non-empty, makes the engine durable: every job's
+	// lifecycle is appended to a write-ahead log under this directory
+	// (see internal/jobstore and durable.go), and a restarted engine
+	// pointed at the same directory re-queues jobs that were submitted
+	// but never finished, re-registers finished jobs under their old
+	// IDs, and serves resubmissions of an identical spec from the
+	// ledger instead of recomputing. If the ledger cannot be opened the
+	// engine runs non-durable and reports the failure via Stats. Jobs
+	// whose graph or topology exists only as an in-memory object are
+	// executed but not logged (they have no serializable identity).
+	JobDir string
 	// WideThreshold tunes wide mode (intra-job parallelism; see wide.go):
 	// a job is granted helper goroutines while the rest of the pool's
 	// load — other running jobs plus queued jobs — stays within this
@@ -89,7 +102,13 @@ func (o Options) withDefaults() Options {
 type jobRecord struct {
 	mu   sync.Mutex
 	job  Job
-	done chan struct{} // closed when the job reaches done/failed
+	done chan struct{} // closed when the job reaches a terminal status
+
+	// durable and hash are set at submission (or ledger replay) time
+	// and never mutated afterwards: they mark jobs whose lifecycle is
+	// logged to the job ledger, keyed by the canonical spec hash.
+	durable bool
+	hash    string
 }
 
 func (r *jobRecord) snapshot() Job {
@@ -118,6 +137,23 @@ type Engine struct {
 
 	served  atomic.Int64 // jobs finished (done or failed) since New
 	running atomic.Int64 // jobs currently executing on workers
+
+	// Durability state (see durable.go): the job ledger (nil without
+	// Options.JobDir, or after an open failure recorded in ledgerErr),
+	// the hash→result map serving idempotent resubmissions, and the
+	// recovery/idempotency counters surfaced through Stats.
+	ledger      *jobstore.Store
+	ledgerErr   error
+	dedup       map[string]json.RawMessage // guarded by mu
+	recovered   int
+	dedupServed atomic.Int64
+	interrupted atomic.Int64
+
+	// Drain state: draining flips once, drainCh is closed at the same
+	// instant so queued waiters can be released (see BeginDrain).
+	draining  atomic.Bool
+	drainOnce sync.Once
+	drainCh   chan struct{}
 
 	// wideTokens is the engine-wide helper budget of wide mode: one
 	// token per helper goroutine, max(1, Workers−1) in total, so wide
@@ -162,9 +198,28 @@ func New(opt Options) *Engine {
 		opt:       opt,
 		cache:     NewTopologyCache(),
 		jobs:      make(map[string]*jobRecord),
-		pending:   make(chan *jobRecord, opt.QueueCap),
 		stageSecs: make(map[string]float64),
+		dedup:     make(map[string]json.RawMessage),
+		drainCh:   make(chan struct{}),
 	}
+	// Replay the job ledger (if configured) before the worker pool or
+	// the pending channel exists: recovered-unfinished jobs are
+	// requeued under their original IDs, and the channel is sized to
+	// hold all of them even when they outnumber QueueCap (the queue
+	// bound applies to new submissions, not to recovery).
+	var requeue []*jobRecord
+	if opt.JobDir != "" {
+		requeue = e.replayLedger(opt.JobDir)
+	}
+	queueCap := opt.QueueCap
+	if len(requeue) > queueCap {
+		queueCap = len(requeue)
+	}
+	e.pending = make(chan *jobRecord, queueCap)
+	for _, rec := range requeue {
+		e.pending <- rec
+	}
+	e.recovered = len(requeue)
 	helpers := opt.Workers - 1
 	if helpers < 1 {
 		helpers = 1
@@ -227,12 +282,42 @@ func (e *Engine) Topology(spec string) (*topology.Topology, error) {
 }
 
 // Submit enqueues a job and returns its snapshot (status "queued"). It
-// fails if the engine is closed or the queue is full.
+// fails if the engine is closed (ErrClosed), draining for shutdown
+// (ErrDraining) or the queue is full (ErrQueueFull). On a durable
+// engine, resubmitting a spec whose identical twin already finished
+// successfully returns an already-done job served from the ledger
+// (result flagged ServedFromLedger) without recomputing.
 func (e *Engine) Submit(spec JobSpec) (Job, error) {
+	if e.draining.Load() {
+		return Job{}, ErrDraining
+	}
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
 		return Job{}, ErrClosed
+	}
+	var hash string
+	var specJSON []byte
+	durable := false
+	if e.ledger != nil {
+		if ds, ok := durableSpec(spec); ok {
+			var err error
+			if specJSON, hash, err = canonicalSpec(ds); err == nil {
+				durable = true
+				if rec, ok := e.dedupServe(hash, spec); ok {
+					e.mu.Unlock()
+					return rec.snapshot(), nil
+				}
+			}
+		}
+	}
+	// Only Submit (serialized by e.mu) ever adds to pending, so a
+	// capacity check here guarantees the send below cannot block — and
+	// lets the submitted record hit the WAL before the job becomes
+	// visible to any worker.
+	if len(e.pending) >= cap(e.pending) {
+		e.mu.Unlock()
+		return Job{}, fmt.Errorf("%w (%d jobs pending)", ErrQueueFull, e.opt.QueueCap)
 	}
 	e.nextID++
 	rec := &jobRecord{
@@ -242,15 +327,12 @@ func (e *Engine) Submit(spec JobSpec) (Job, error) {
 			Status:    StatusQueued,
 			Submitted: time.Now(),
 		},
-		done: make(chan struct{}),
+		done:    make(chan struct{}),
+		durable: durable,
+		hash:    hash,
 	}
-	select {
-	case e.pending <- rec:
-	default:
-		e.nextID--
-		e.mu.Unlock()
-		return Job{}, fmt.Errorf("%w (%d jobs pending)", ErrQueueFull, e.opt.QueueCap)
-	}
+	e.logSubmitted(rec, specJSON)
+	e.pending <- rec
 	e.jobs[rec.job.ID] = rec
 	e.order = append(e.order, rec.job.ID)
 	e.evictLocked()
@@ -314,8 +396,18 @@ func (e *Engine) WaitCtx(ctx context.Context, id string) (Job, error) {
 	select {
 	case <-rec.done:
 		return rec.snapshot(), nil
+	default:
+	}
+	select {
+	case <-rec.done:
+		return rec.snapshot(), nil
 	case <-ctx.Done():
 		return Job{}, ctx.Err()
+	case <-e.drainCh:
+		// A draining engine releases its waiters (mapd turns this into
+		// 503 + Retry-After) instead of holding HTTP handlers across the
+		// shutdown. Finished jobs are still snapshotted above.
+		return Job{}, ErrDraining
 	}
 }
 
@@ -378,6 +470,13 @@ type Stats struct {
 	// the first ingest, so engines that never load real-world graphs
 	// keep their stats payload unchanged.
 	Ingest *IngestStats `json:"ingest,omitempty"`
+	// JobStore snapshots the durable job ledger and the engine's
+	// recovery/idempotency counters (see durable.go). Nil when the
+	// engine was built without Options.JobDir.
+	JobStore *JobStoreStats `json:"job_store,omitempty"`
+	// Draining reports that the engine has begun shutting down: new
+	// submissions are refused and waiters are released.
+	Draining bool `json:"draining,omitempty"`
 }
 
 // Stats returns the engine's pool statistics.
@@ -409,6 +508,8 @@ func (e *Engine) Stats() Stats {
 	if is, active := e.IngestSnapshot(); active {
 		st.Ingest = &is
 	}
+	st.JobStore = e.jobStoreStats()
+	st.Draining = e.draining.Load()
 	return st
 }
 
@@ -418,6 +519,12 @@ func (e *Engine) worker() {
 	// see workerScratch.
 	ws := newWorkerScratch()
 	for rec := range e.pending {
+		if e.draining.Load() {
+			// A draining engine executes nothing new: hand the job back to
+			// the ledger as interrupted; a restart requeues it.
+			e.interrupt(rec)
+			continue
+		}
 		e.execute(rec, ws)
 	}
 }
@@ -430,8 +537,10 @@ func (e *Engine) execute(rec *jobRecord, ws *workerScratch) {
 	rec.job.Started = time.Now()
 	spec := rec.job.Spec
 	rec.mu.Unlock()
+	e.logRunning(rec)
 
 	res, err := e.runGuarded(spec, rec, ws)
+	e.logFinished(rec, res, err)
 
 	rec.mu.Lock()
 	rec.job.Stage = ""

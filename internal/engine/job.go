@@ -328,6 +328,12 @@ type JobResult struct {
 	HierarchiesKept int `json:"hierarchies_kept"`
 	SwapsApplied    int `json:"swaps_applied"`
 
+	// ServedFromLedger reports that the whole result was served from the
+	// durable job ledger — an identical spec had already finished on
+	// this JobDir, so nothing was recomputed. Like PartitionReused it is
+	// provenance, not quality: StripPerf zeroes it.
+	ServedFromLedger bool `json:"served_from_ledger,omitempty"`
+
 	// PartitionReused reports that the partition stage was served from
 	// the engine's artifact cache (or coalesced onto a concurrent
 	// worker's in-flight computation) instead of being recomputed — the
@@ -370,20 +376,25 @@ func (r JobResult) StripPerf() JobResult {
 	r.BaseSeconds, r.TimerSeconds = 0, 0
 	r.Width = 0
 	r.PartitionReused = false
+	r.ServedFromLedger = false
 	return r
 }
 
 // JobStatus is the lifecycle state of a job.
 type JobStatus string
 
-// The four job lifecycle states: queued (accepted, waiting for a
-// worker), running (a worker is executing the pipeline), done (finished
-// with a Result) and failed (finished with an Error).
+// The job lifecycle states: queued (accepted, waiting for a worker),
+// running (a worker is executing the pipeline), done (finished with a
+// Result), failed (finished with an Error) and interrupted (a draining
+// engine handed the queued job back to the job ledger instead of
+// executing it — on a durable engine a restart requeues it under the
+// same ID; see durable.go).
 const (
-	StatusQueued  JobStatus = "queued"
-	StatusRunning JobStatus = "running"
-	StatusDone    JobStatus = "done"
-	StatusFailed  JobStatus = "failed"
+	StatusQueued      JobStatus = "queued"
+	StatusRunning     JobStatus = "running"
+	StatusDone        JobStatus = "done"
+	StatusFailed      JobStatus = "failed"
+	StatusInterrupted JobStatus = "interrupted"
 )
 
 // Job is a snapshot of one submitted job. All fields are copies; the

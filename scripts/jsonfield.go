@@ -1,0 +1,69 @@
+// Command jsonfield prints one scalar field of a JSON document — the
+// shell scripts' jq substitute (the repo takes no dependency on jq).
+//
+// Usage: go run ./scripts/jsonfield.go FILE KEY
+//
+// The document is searched depth-first and the first value found under
+// KEY wins, so nested fields (stats' engine.job_store.jobs_recovered,
+// a job's result.served_from_ledger) resolve by their leaf name alone —
+// callers must only query keys that appear once per document. Missing
+// keys print nothing and exit 0 so callers can default.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: jsonfield FILE KEY")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jsonfield:", err)
+		os.Exit(1)
+	}
+	var doc any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fmt.Fprintln(os.Stderr, "jsonfield:", err)
+		os.Exit(1)
+	}
+	if v, ok := find(doc, os.Args[2]); ok {
+		switch x := v.(type) {
+		case float64:
+			if x == math.Trunc(x) {
+				fmt.Printf("%d\n", int64(x))
+			} else {
+				fmt.Printf("%g\n", x)
+			}
+		default:
+			fmt.Println(x)
+		}
+	}
+}
+
+// find walks maps (direct keys before descent) and arrays depth-first.
+func find(doc any, key string) (any, bool) {
+	switch node := doc.(type) {
+	case map[string]any:
+		if v, ok := node[key]; ok {
+			return v, true
+		}
+		for _, v := range node {
+			if r, ok := find(v, key); ok {
+				return r, true
+			}
+		}
+	case []any:
+		for _, v := range node {
+			if r, ok := find(v, key); ok {
+				return r, true
+			}
+		}
+	}
+	return nil, false
+}
