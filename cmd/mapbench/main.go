@@ -47,6 +47,16 @@
 //
 //	mapbench -smoke -restart
 //
+// Probe the fleet layer (the same job set run through maprouter over
+// one replica and over N in-process mapd replicas, then once more with
+// the busiest replica killed mid-batch; byte-identical completion is
+// asserted, the wall-clock ratio lands in perf.fleet_speedup and the
+// recovery count in perf.failovers — see the "Fleet" chapter of
+// DESIGN.md):
+//
+//	mapbench -smoke -fleet                    # 3 replicas
+//	mapbench -smoke -fleet -fleet-replicas 5
+//
 // Gate against a baseline (nonzero exit on regression):
 //
 //	mapbench -smoke -out BENCH_results.json -baseline BENCH_baseline.json
@@ -60,10 +70,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sort"
 
 	"repro/internal/bench"
+	"repro/internal/engine"
+	"repro/internal/mapdsrv"
 )
 
 func main() {
@@ -88,6 +101,8 @@ func main() {
 		warmDir    = flag.String("warm-dir", "", "cache directory of the warm probe (default: a fresh temp dir, removed afterwards)")
 		restart    = flag.Bool("restart", false, "also run the crash-restart probe (engine drained mid-batch, recovered from its job ledger byte-identical; records perf.jobs_recovered and perf.dedup_served)")
 		restartDir = flag.String("restart-dir", "", "job-ledger directory of the restart probe (default: a fresh temp dir, removed afterwards)")
+		fleetProbe = flag.Bool("fleet", false, "also run the fleet probe (job set through maprouter over 1 vs N replicas, then with a replica killed mid-batch; records perf.fleet_speedup and perf.failovers)")
+		fleetReps  = flag.Int("fleet-replicas", 0, "replica count of the fleet probe (default 3)")
 	)
 	var graphs stringList
 	flag.Var(&graphs, "graph", "add a real dataset file (SNAP/Matrix Market/METIS) as matrix cells; repeatable")
@@ -157,6 +172,25 @@ func main() {
 		}
 		results.Perf.JobsRecovered = probe.Recovered
 		results.Perf.DedupServed = probe.DedupServed
+	}
+
+	if *fleetProbe && *diffFile == "" {
+		// bench cannot import mapdsrv (mapdsrv serves bench's matrices),
+		// so the production handler stack is injected from here.
+		probe, perr := bench.RunFleetProbe(bench.FleetProbe{
+			Replicas: *fleetReps,
+			Seed:     *seed,
+		}, func(eng *engine.Engine) http.Handler {
+			return mapdsrv.New(eng, mapdsrv.Config{})
+		}, progress(*quiet))
+		if perr != nil {
+			fatal(perr)
+		}
+		if results.Perf == nil {
+			results.Perf = &bench.RunPerf{}
+		}
+		results.Perf.Failovers = probe.Failovers
+		results.Perf.FleetSpeedup = probe.FleetSpeedup
 	}
 
 	if *out != "" {
@@ -299,6 +333,10 @@ func printSummary(r *bench.Results) {
 		if r.Perf.JobsRecovered > 0 {
 			fmt.Printf("  restart probe: %d jobs recovered byte-identical, %d duplicates ledger-served\n",
 				r.Perf.JobsRecovered, r.Perf.DedupServed)
+		}
+		if r.Perf.FleetSpeedup > 0 {
+			fmt.Printf("  fleet probe: %.2fx fleet speedup, %d failovers survived byte-identical\n",
+				r.Perf.FleetSpeedup, r.Perf.Failovers)
 		}
 	}
 	// Base-vs-enhancement split: the two stages this repository's hot

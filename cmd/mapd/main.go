@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/mapdsrv"
 	"repro/internal/topology"
 )
 
@@ -104,7 +105,7 @@ func main() {
 	}
 	srv := &http.Server{
 		Addr: *addr,
-		Handler: newServer(eng, serverConfig{
+		Handler: mapdsrv.New(eng, mapdsrv.Config{
 			Pprof: *withPprof, MaxBody: *maxUpload,
 			QuotaRate: *quota, QuotaBurst: *quotaBur,
 		}),

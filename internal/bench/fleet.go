@@ -1,0 +1,399 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"reflect"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/fleet"
+	"repro/internal/mapclient"
+)
+
+// FleetProbe configures the fleet probe (mapbench -fleet; recorded in
+// BENCH_results.json as perf.failovers and perf.fleet_speedup). Two
+// phases run over real HTTP replicas hosted in-process:
+//
+//  1. throughput: the job set runs through a router fronting one
+//     replica, then through a router fronting Replicas replicas, and
+//     the wall-time ratio is the fleet speedup — same protocol, same
+//     router overhead, only the replica count differs;
+//  2. chaos: the set runs again on the full fleet and the replica
+//     that received the first placement is killed mid-batch; the run
+//     must complete with zero client-visible errors and byte-identical
+//     results, and the router must record the failovers.
+type FleetProbe struct {
+	// Replicas sizes the fleet (default 3).
+	Replicas int `json:"replicas"`
+	// Workers is the per-replica worker count (default 1, so the fleet
+	// run's parallelism comes from replica count, not intra-replica
+	// width).
+	Workers int `json:"workers"`
+	// Seed offsets the job seeds (default 1).
+	Seed int64 `json:"seed"`
+	// NumHierarchies sizes the enhancement stage of every job (default
+	// 8 — enough work that the chaos kill lands mid-batch).
+	NumHierarchies int `json:"num_hierarchies"`
+}
+
+func (p FleetProbe) withDefaults() FleetProbe {
+	if p.Replicas <= 0 {
+		p.Replicas = 3
+	}
+	if p.Workers <= 0 {
+		p.Workers = 1
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.NumHierarchies <= 0 {
+		p.NumHierarchies = 8
+	}
+	return p
+}
+
+// jobs builds the probe's job set: eight generated-graph jobs with
+// distinct seeds across two topologies, so rendezvous hashing has
+// distinct keys to spread.
+func (p FleetProbe) jobs() []engine.JobSpec {
+	var specs []engine.JobSpec
+	for _, topo := range []string{"grid:8x8", "hypercube:6"} {
+		for s := int64(0); s < 4; s++ {
+			specs = append(specs, engine.JobSpec{
+				Graph:          engine.GraphSpec{Network: "p2p-Gnutella", Scale: 0.25},
+				Topology:       topo,
+				Case:           engine.C2Identity,
+				Seed:           p.Seed + s,
+				NumHierarchies: p.NumHierarchies,
+			})
+		}
+	}
+	return specs
+}
+
+// FleetProbeResult reports one fleet probe. Byte-identical completion
+// through the chaos kill is asserted before it is returned.
+type FleetProbeResult struct {
+	Probe FleetProbe `json:"probe"`
+	// Jobs is the job-set size per phase.
+	Jobs int `json:"jobs"`
+	// SingleSeconds and FleetSeconds time the job set through a
+	// one-replica and a Replicas-replica fleet; FleetSpeedup is their
+	// ratio.
+	SingleSeconds float64 `json:"single_seconds"`
+	FleetSeconds  float64 `json:"fleet_seconds"`
+	FleetSpeedup  float64 `json:"fleet_speedup"`
+	// Failovers and Requeues count the router's recovery work during
+	// the chaos phase: jobs moved off the killed replica.
+	Failovers int64 `json:"failovers"`
+	Requeues  int64 `json:"requeues"`
+}
+
+// probeReplica is one in-process mapd: an engine behind the injected
+// handler on a real TCP listener, killable mid-batch.
+type probeReplica struct {
+	eng *engine.Engine
+	srv *http.Server
+	url string
+}
+
+func startProbeReplica(workers int, newHandler func(*engine.Engine) http.Handler) (*probeReplica, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("bench: fleet probe listen: %w", err)
+	}
+	eng := engine.New(engine.Options{Workers: workers})
+	srv := &http.Server{Handler: newHandler(eng)}
+	go srv.Serve(ln)
+	return &probeReplica{eng: eng, srv: srv, url: "http://" + ln.Addr().String()}, nil
+}
+
+// kill closes the listener and every open connection — the in-process
+// stand-in for kill -9. close additionally shuts the engine down.
+func (r *probeReplica) kill()  { r.srv.Close() }
+func (r *probeReplica) close() { r.srv.Close(); r.eng.Close() }
+
+// runSet submits every spec through the client and waits for all,
+// returning stripped results in spec order.
+func runSet(ctx context.Context, c *mapclient.Client, specs []engine.JobSpec) ([]engine.JobResult, error) {
+	ids := make([]string, len(specs))
+	for i, spec := range specs {
+		job, err := c.SubmitJob(ctx, spec)
+		if err != nil {
+			return nil, fmt.Errorf("submit %d: %w", i, err)
+		}
+		ids[i] = job.ID
+	}
+	out := make([]engine.JobResult, len(specs))
+	for i, id := range ids {
+		job, err := c.WaitJob(ctx, id)
+		if err != nil {
+			return nil, fmt.Errorf("wait %s: %w", id, err)
+		}
+		if job.Status != engine.StatusDone {
+			return nil, fmt.Errorf("job %s finished %s: %s", id, job.Status, job.Error)
+		}
+		out[i] = job.Result.StripPerf()
+	}
+	return out, nil
+}
+
+// fleetRun stands a fleet of n replicas behind a router, runs the job
+// set through it, verifies every result against want, and returns the
+// wall time with the router for further inspection. The caller owns
+// the returned cleanup.
+func fleetRun(p FleetProbe, n int, newHandler func(*engine.Engine) http.Handler, specs []engine.JobSpec, want []engine.JobResult) (seconds float64, rt *fleet.Router, replicas []*probeReplica, cleanup func(), err error) {
+	var urls []string
+	cleanup = func() {
+		if rt != nil {
+			rt.Close()
+		}
+		for _, r := range replicas {
+			r.close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		r, err2 := startProbeReplica(p.Workers, newHandler)
+		if err2 != nil {
+			cleanup()
+			return 0, nil, nil, nil, err2
+		}
+		replicas = append(replicas, r)
+		urls = append(urls, r.url)
+	}
+	rt, err = fleet.NewRouter(fleet.Config{
+		Replicas:      urls,
+		ProbeInterval: 50 * time.Millisecond,
+		ProbeTimeout:  2 * time.Second,
+	})
+	if err != nil {
+		cleanup()
+		return 0, nil, nil, nil, err
+	}
+	routerSrv, err := startRouterServer(rt)
+	if err != nil {
+		cleanup()
+		return 0, nil, nil, nil, err
+	}
+	prev := cleanup
+	cleanup = func() { routerSrv.Close(); prev() }
+
+	// Wait for the probers' first verdicts before timing anything.
+	deadline := time.Now().Add(10 * time.Second)
+	c := mapclient.New(routerSrv.url, mapclient.Config{AttemptTimeout: 5 * time.Minute})
+	for {
+		if _, err := c.Stats(context.Background()); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			cleanup()
+			return 0, nil, nil, nil, fmt.Errorf("bench: fleet probe: router never became reachable")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	t0 := time.Now()
+	got, err := runSet(context.Background(), c, specs)
+	if err != nil {
+		cleanup()
+		return 0, nil, nil, nil, fmt.Errorf("bench: fleet probe (%d replicas): %w", n, err)
+	}
+	seconds = time.Since(t0).Seconds()
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			cleanup()
+			return 0, nil, nil, nil, fmt.Errorf("bench: fleet probe: job %d diverged through %d replicas (coco %d, want %d)",
+				i, n, got[i].CocoAfter, want[i].CocoAfter)
+		}
+	}
+	return seconds, rt, replicas, cleanup, nil
+}
+
+// startRouterServer serves the router's handler on a real listener.
+type routerServer struct {
+	srv *http.Server
+	url string
+}
+
+func startRouterServer(rt *fleet.Router) (*routerServer, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("bench: fleet probe router listen: %w", err)
+	}
+	srv := &http.Server{Handler: rt.Handler()}
+	go srv.Serve(ln)
+	return &routerServer{srv: srv, url: "http://" + ln.Addr().String()}, nil
+}
+
+func (s *routerServer) Close() { s.srv.Close() }
+
+// RunFleetProbe measures (and proves) the fleet layer. newHandler
+// builds a replica's HTTP surface from its engine — callers outside
+// this package's import cycle (cmd/mapbench) pass mapdsrv.New so the
+// probe exercises the production handler stack; bench cannot import
+// mapdsrv itself because mapdsrv serves this package's matrices.
+func RunFleetProbe(p FleetProbe, newHandler func(*engine.Engine) http.Handler, progress func(line string)) (*FleetProbeResult, error) {
+	p = p.withDefaults()
+	if newHandler == nil {
+		return nil, fmt.Errorf("bench: fleet probe needs a replica handler constructor")
+	}
+	if progress == nil {
+		progress = func(string) {}
+	}
+	specs := p.jobs()
+
+	// Reference results from a plain in-process engine.
+	progress(fmt.Sprintf("fleet probe: reference run (%d jobs)", len(specs)))
+	ref := engine.New(engine.Options{Workers: p.Workers * p.Replicas})
+	want := make([]engine.JobResult, len(specs))
+	for i, spec := range specs {
+		res, err := ref.Run(spec)
+		if err != nil {
+			ref.Close()
+			return nil, fmt.Errorf("bench: fleet probe reference: %w", err)
+		}
+		want[i] = res.StripPerf()
+	}
+	ref.Close()
+
+	// Phase 1a: one replica behind the router.
+	singleSec, _, _, cleanup, err := fleetRun(p, 1, newHandler, specs, want)
+	if err != nil {
+		return nil, err
+	}
+	cleanup()
+	progress(fmt.Sprintf("fleet probe: 1 replica × %d workers: %.2fs", p.Workers, singleSec))
+
+	// Phase 1b: the full fleet.
+	fleetSec, _, _, cleanup, err := fleetRun(p, p.Replicas, newHandler, specs, want)
+	if err != nil {
+		return nil, err
+	}
+	cleanup()
+	progress(fmt.Sprintf("fleet probe: %d replicas × %d workers: %.2fs (speedup %.2fx)",
+		p.Replicas, p.Workers, fleetSec, singleSec/fleetSec))
+
+	// Phase 2: chaos — fresh fleet, kill the first replica that
+	// receives work, batch must still complete byte-identical.
+	chaosSpecs := make([]engine.JobSpec, len(specs))
+	copy(chaosSpecs, specs)
+	_, rt, replicas, cleanup, err := fleetChaosRun(p, newHandler, chaosSpecs, want)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	_ = replicas
+
+	res := &FleetProbeResult{
+		Probe:         p,
+		Jobs:          len(specs),
+		SingleSeconds: singleSec,
+		FleetSeconds:  fleetSec,
+		FleetSpeedup:  singleSec / fleetSec,
+		Failovers:     rt.Failovers(),
+		Requeues:      rt.Requeues(),
+	}
+	progress(fmt.Sprintf("fleet probe: chaos kill survived — %d failovers, %d requeues, results byte-identical",
+		res.Failovers, res.Requeues))
+	return res, nil
+}
+
+// fleetChaosRun is the probe's kill phase: stand up the fleet, submit
+// the set, kill the first replica holding work, and verify the set
+// still completes byte-identical.
+func fleetChaosRun(p FleetProbe, newHandler func(*engine.Engine) http.Handler, specs []engine.JobSpec, want []engine.JobResult) (float64, *fleet.Router, []*probeReplica, func(), error) {
+	var urls []string
+	var replicas []*probeReplica
+	cleanup := func() {
+		for _, r := range replicas {
+			r.close()
+		}
+	}
+	for i := 0; i < p.Replicas; i++ {
+		r, err := startProbeReplica(p.Workers, newHandler)
+		if err != nil {
+			cleanup()
+			return 0, nil, nil, nil, err
+		}
+		replicas = append(replicas, r)
+		urls = append(urls, r.url)
+	}
+	rt, err := fleet.NewRouter(fleet.Config{
+		Replicas:      urls,
+		ProbeInterval: 50 * time.Millisecond,
+		ProbeTimeout:  2 * time.Second,
+	})
+	if err != nil {
+		cleanup()
+		return 0, nil, nil, nil, err
+	}
+	routerSrv, err := startRouterServer(rt)
+	if err != nil {
+		rt.Close()
+		cleanup()
+		return 0, nil, nil, nil, err
+	}
+	prev := cleanup
+	cleanup = func() { routerSrv.Close(); rt.Close(); prev() }
+
+	c := mapclient.New(routerSrv.url, mapclient.Config{AttemptTimeout: 5 * time.Minute})
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := c.Stats(context.Background()); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			cleanup()
+			return 0, nil, nil, nil, fmt.Errorf("bench: fleet probe: chaos router never became reachable")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The victim is the home replica of the first spec, so the kill is
+	// guaranteed to orphan a placement.
+	key, ok := engine.SpecHash(specs[0])
+	if !ok {
+		cleanup()
+		return 0, nil, nil, nil, fmt.Errorf("bench: fleet probe: spec has no hash")
+	}
+	victimURL := rt.HomeOf(key)
+
+	t0 := time.Now()
+	ids := make([]string, len(specs))
+	for i, spec := range specs {
+		job, err := c.SubmitJob(context.Background(), spec)
+		if err != nil {
+			cleanup()
+			return 0, nil, nil, nil, fmt.Errorf("bench: fleet probe chaos submit %d: %w", i, err)
+		}
+		ids[i] = job.ID
+	}
+	for _, r := range replicas {
+		if r.url == victimURL {
+			r.kill()
+		}
+	}
+	for i, id := range ids {
+		job, err := c.WaitJob(context.Background(), id)
+		if err != nil {
+			cleanup()
+			return 0, nil, nil, nil, fmt.Errorf("bench: fleet probe chaos wait %s: %w", id, err)
+		}
+		if job.Status != engine.StatusDone {
+			cleanup()
+			return 0, nil, nil, nil, fmt.Errorf("bench: fleet probe chaos: job %s finished %s: %s", id, job.Status, job.Error)
+		}
+		if !reflect.DeepEqual(job.Result.StripPerf(), want[i]) {
+			cleanup()
+			return 0, nil, nil, nil, fmt.Errorf("bench: fleet probe chaos: job %d diverged across the kill", i)
+		}
+	}
+	if rt.Failovers() == 0 {
+		cleanup()
+		return 0, nil, nil, nil, fmt.Errorf("bench: fleet probe chaos: the kill caused no failover — it landed after the victim finished")
+	}
+	return time.Since(t0).Seconds(), rt, replicas, cleanup, nil
+}

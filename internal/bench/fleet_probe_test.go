@@ -1,0 +1,56 @@
+// The fleet probe's test lives in the external package on purpose:
+// bench cannot import mapdsrv (mapdsrv serves bench's matrices), but
+// bench_test → mapdsrv → bench is a legal chain, so the test can
+// exercise the probe against the production handler stack exactly the
+// way cmd/mapbench wires it.
+package bench_test
+
+import (
+	"net/http"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/engine"
+	"repro/internal/mapdsrv"
+)
+
+func mapdHandler(eng *engine.Engine) http.Handler {
+	return mapdsrv.New(eng, mapdsrv.Config{})
+}
+
+func TestRunFleetProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet probe stands up three HTTP fleets; skipped in -short")
+	}
+	var lines []string
+	res, err := bench.RunFleetProbe(bench.FleetProbe{}, mapdHandler, func(line string) {
+		lines = append(lines, line)
+	})
+	if err != nil {
+		t.Fatalf("RunFleetProbe: %v", err)
+	}
+	if res.Jobs != 8 {
+		t.Fatalf("probe ran %d jobs, want 8", res.Jobs)
+	}
+	if res.SingleSeconds <= 0 || res.FleetSeconds <= 0 {
+		t.Fatalf("probe recorded non-positive wall times: single=%v fleet=%v",
+			res.SingleSeconds, res.FleetSeconds)
+	}
+	if res.FleetSpeedup <= 0 {
+		t.Fatalf("probe recorded non-positive speedup: %v", res.FleetSpeedup)
+	}
+	// The probe itself asserts byte-identical completion across the
+	// kill; here we only check the recovery was observed and reported.
+	if res.Failovers < 1 {
+		t.Fatalf("probe recorded %d failovers, want >= 1", res.Failovers)
+	}
+	if len(lines) == 0 {
+		t.Fatalf("probe emitted no progress lines")
+	}
+}
+
+func TestRunFleetProbeNeedsHandler(t *testing.T) {
+	if _, err := bench.RunFleetProbe(bench.FleetProbe{}, nil, nil); err == nil {
+		t.Fatalf("RunFleetProbe accepted a nil handler constructor")
+	}
+}

@@ -152,6 +152,13 @@ type RunPerf struct {
 	// probe ran.
 	JobsRecovered int   `json:"jobs_recovered,omitempty"`
 	DedupServed   int64 `json:"dedup_served,omitempty"`
+	// Failovers and FleetSpeedup record the fleet probe when the run
+	// included one (mapbench -fleet): how many jobs the router moved
+	// off a killed replica (completed byte-identical regardless), and
+	// the wall-time ratio of the one-replica run to the N-replica run
+	// of the same job set. Zero when no probe ran.
+	Failovers    int64   `json:"failovers,omitempty"`
+	FleetSpeedup float64 `json:"fleet_speedup,omitempty"`
 }
 
 // Results is the machine-readable outcome of one matrix run — the

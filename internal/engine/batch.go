@@ -66,6 +66,62 @@ func SharedPartitionSeed(base int64, rep int) int64 {
 	return base + int64(rep)*7919
 }
 
+// ExpandBatch expands a batch into its per-job specs without touching
+// an engine: the same fan-out order (graphs outermost, then topologies,
+// then reps) and the same seed algebra (BatchSeed, SharedPartitionSeed,
+// batch seed pinned into every graph spec) as SubmitBatch, but purely —
+// no graph is materialized and no topology is built. Fleet routers use
+// it to scatter a batch across replicas job by job, each routed by its
+// own SpecHash. SkipTooSmall is refused: deciding it needs the realized
+// vertex count, which only a materializing submission path has.
+func ExpandBatch(b BatchSpec) ([]JobSpec, error) {
+	if len(b.Graphs) == 0 || len(b.Topologies) == 0 {
+		return nil, fmt.Errorf("engine: batch needs at least one graph and one topology")
+	}
+	if b.SkipTooSmall {
+		return nil, fmt.Errorf("engine: skip_too_small needs materialized graph sizes and cannot be expanded purely")
+	}
+	reps := b.Reps
+	if reps <= 0 {
+		reps = 1
+	}
+	seed := b.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	specs := make([]JobSpec, 0, len(b.Graphs)*len(b.Topologies)*reps)
+	for _, gs := range b.Graphs {
+		if gs.Seed == 0 {
+			gs.Seed = seed
+		}
+		// Purity must not defer validation: a typo'd network name should
+		// fail the expansion, not fan out into identically-failing jobs.
+		if gs.G == nil && gs.Ref == "" && len(gs.Edges) == 0 && gs.Network != "" {
+			if _, err := netgen.ByName(gs.Network); err != nil {
+				return nil, err
+			}
+		}
+		for _, topoSpec := range b.Topologies {
+			for rep := 0; rep < reps; rep++ {
+				spec := JobSpec{
+					Graph:          gs,
+					Topology:       topoSpec,
+					Case:           b.Case,
+					Epsilon:        b.Epsilon,
+					Seed:           BatchSeed(seed, rep, b.Case),
+					NumHierarchies: b.NumHierarchies,
+					TimerWorkers:   b.TimerWorkers,
+				}
+				if b.SharedPartition {
+					spec.PartitionSeed = SharedPartitionSeed(seed, rep)
+				}
+				specs = append(specs, spec)
+			}
+		}
+	}
+	return specs, nil
+}
+
 // SubmitBatch expands the batch into jobs and enqueues them all,
 // returning the job IDs in fan-out order (graphs outermost, then
 // topologies, then reps). Jobs skipped by SkipTooSmall contribute an

@@ -51,6 +51,28 @@ func canonicalSpec(spec JobSpec) ([]byte, string, error) {
 	return body, graph.FingerprintBytes(body).String(), nil
 }
 
+// SpecHash returns the canonical spec hash of a job — the idempotency
+// key under which the engine dedups finished results and re-serves
+// identical resubmissions from the ledger. It is the fingerprint of the
+// spec's canonical JSON after default resolution and provenance
+// reduction (a pinned graph with provenance hashes by its provenance).
+// ok is false when the spec has no serializable identity (an in-memory
+// Topo or a provenance-free pinned graph): such jobs run but cannot be
+// deduplicated, logged, or safely retried against another replica.
+// Fleet components route and retry on this hash: equal hash means a
+// resubmission is byte-identical idempotent, so failover is safe.
+func SpecHash(spec JobSpec) (string, bool) {
+	ds, ok := durableSpec(spec)
+	if !ok {
+		return "", false
+	}
+	_, hash, err := canonicalSpec(ds)
+	if err != nil {
+		return "", false
+	}
+	return hash, true
+}
+
 // closedChan returns an already-closed done channel for job records
 // that are born finished (ledger replays, dedup serves).
 func closedChan() chan struct{} {

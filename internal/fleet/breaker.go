@@ -1,0 +1,112 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the circuit breaker's position: closed (traffic
+// flows), open (replica quarantined), half-open (one trial in flight).
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// String renders the state for stats payloads.
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a per-replica circuit breaker: consecutive failures trip
+// it open, a cooldown later it admits exactly one half-open trial, and
+// the trial's outcome either recloses it or rearms the cooldown. It
+// exists so a dead replica costs the router one failed probe per
+// cooldown instead of a connect timeout per request.
+type breaker struct {
+	threshold int           // consecutive failures that trip the breaker
+	cooldown  time.Duration // open → half-open delay
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    breakerState
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last tripped
+	trips    int64     // lifetime count of closed→open transitions
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold < 1 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 2 * time.Second
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// allow reports whether a request may be sent through the breaker.
+// While open it returns false until the cooldown elapses, then flips
+// to half-open and admits a single trial; further calls are refused
+// until that trial reports success or failure.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = breakerHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: one trial already admitted
+		return false
+	}
+}
+
+// success reports a request that reached the replica and got a sane
+// answer: recloses a half-open breaker, resets the failure streak.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.fails = 0
+}
+
+// failure reports a request the replica failed to serve (connection
+// error or 5xx). The threshold-th consecutive failure — or any failure
+// of a half-open trial — opens the breaker and starts the cooldown.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = b.now()
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+			b.trips++
+		}
+	}
+}
+
+// snapshot returns the state and streak for stats, atomically.
+func (b *breaker) snapshot() (state string, fails int, trips int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String(), b.fails, b.trips
+}

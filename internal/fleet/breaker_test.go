@@ -1,0 +1,79 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerStateMachine(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	b := newBreaker(3, 2*time.Second)
+	b.now = func() time.Time { return clock }
+
+	if !b.allow() {
+		t.Fatal("fresh breaker refuses traffic")
+	}
+	b.failure()
+	b.failure()
+	if !b.allow() {
+		t.Fatal("breaker opened below threshold")
+	}
+	b.failure() // third consecutive: trips
+	if b.allow() {
+		t.Fatal("breaker closed after threshold consecutive failures")
+	}
+	if state, _, trips := b.snapshot(); state != "open" || trips != 1 {
+		t.Fatalf("state = %s, trips = %d; want open, 1", state, trips)
+	}
+
+	// Cooldown not yet elapsed: still refused.
+	clock = clock.Add(time.Second)
+	if b.allow() {
+		t.Fatal("breaker admitted traffic mid-cooldown")
+	}
+
+	// Cooldown elapsed: exactly one half-open trial admitted.
+	clock = clock.Add(1500 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("breaker refused the half-open trial after cooldown")
+	}
+	if state, _, _ := b.snapshot(); state != "half-open" {
+		t.Fatalf("state = %s, want half-open", state)
+	}
+	if b.allow() {
+		t.Fatal("breaker admitted a second concurrent half-open trial")
+	}
+
+	// Failed trial: back to open, cooldown rearmed from now.
+	b.failure()
+	if b.allow() {
+		t.Fatal("breaker admitted traffic right after a failed trial")
+	}
+	clock = clock.Add(2 * time.Second)
+	if !b.allow() {
+		t.Fatal("breaker refused the second trial after the rearmed cooldown")
+	}
+
+	// Successful trial: recloses, failure streak reset.
+	b.success()
+	if state, fails, _ := b.snapshot(); state != "closed" || fails != 0 {
+		t.Fatalf("after successful trial: state = %s, fails = %d; want closed, 0", state, fails)
+	}
+	b.failure()
+	b.failure()
+	if !b.allow() {
+		t.Fatal("reclosed breaker tripped below threshold — streak was not reset")
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := newBreaker(3, time.Second)
+	for i := 0; i < 10; i++ {
+		b.failure()
+		b.failure()
+		b.success() // never three in a row
+	}
+	if !b.allow() {
+		t.Fatal("breaker tripped without threshold consecutive failures")
+	}
+}

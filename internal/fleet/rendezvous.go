@@ -1,0 +1,44 @@
+// Package fleet turns N mapd replicas into one dependable service: a
+// routing proxy that places jobs by rendezvous hashing on their
+// canonical spec hash, watches replica health, trips per-replica
+// circuit breakers, and fails jobs over — resubmitting their specs —
+// when the replica holding them dies. The failover is safe because the
+// engine dedups by spec hash and the pipeline is deterministic: a
+// resubmitted spec is either served from the surviving replica's
+// ledger or recomputed to byte-identical results.
+package fleet
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// rendezvousScore is the highest-random-weight score of placing key on
+// the named replica: a 64-bit FNV-1a over "key|name". Deterministic
+// across processes, so every router instance ranks replicas
+// identically and a spec keeps landing where its artifacts are warm.
+func rendezvousScore(key, name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h.Write([]byte{'|'})
+	h.Write([]byte(name))
+	return h.Sum64()
+}
+
+// rankReplicas orders the replicas for a key by descending rendezvous
+// score. The first entry is the home replica; the rest are the
+// failover order. Removing a replica never reshuffles the relative
+// order of the others — the property that keeps caches warm through
+// membership churn.
+func rankReplicas(replicas []*Replica, key string) []*Replica {
+	ranked := make([]*Replica, len(replicas))
+	copy(ranked, replicas)
+	sort.SliceStable(ranked, func(i, j int) bool {
+		si, sj := rendezvousScore(key, ranked[i].Name), rendezvousScore(key, ranked[j].Name)
+		if si != sj {
+			return si > sj
+		}
+		return ranked[i].Name < ranked[j].Name
+	})
+	return ranked
+}

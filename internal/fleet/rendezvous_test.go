@@ -1,0 +1,78 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func named(names ...string) []*Replica {
+	reps := make([]*Replica, len(names))
+	for i, n := range names {
+		reps[i] = &Replica{Name: n}
+	}
+	return reps
+}
+
+func TestRankDeterministicAndComplete(t *testing.T) {
+	reps := named("http://a", "http://b", "http://c")
+	r1 := rankReplicas(reps, "spec-hash-1")
+	r2 := rankReplicas(reps, "spec-hash-1")
+	if len(r1) != 3 {
+		t.Fatalf("ranking dropped replicas: %d", len(r1))
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatal("ranking is not deterministic")
+		}
+	}
+	seen := map[string]bool{}
+	for _, r := range r1 {
+		seen[r.Name] = true
+	}
+	if len(seen) != 3 {
+		t.Fatal("ranking repeated a replica")
+	}
+}
+
+// TestRankMinimalDisruption is the rendezvous property the fleet
+// exists for: removing one replica only moves the keys that replica
+// owned; every other key keeps its home, so warm caches stay warm.
+func TestRankMinimalDisruption(t *testing.T) {
+	full := named("http://a", "http://b", "http://c")
+	without := []*Replica{full[0], full[1]} // c removed
+	moved, kept := 0, 0
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("hash-%d", i)
+		home := rankReplicas(full, key)[0]
+		after := rankReplicas(without, key)[0]
+		if home == full[2] {
+			moved++
+			continue
+		}
+		if home != after {
+			t.Fatalf("key %s moved from %s to %s although its home survived", key, home.Name, after.Name)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: %d moved, %d kept", moved, kept)
+	}
+}
+
+// TestRankSpreadsKeys sanity-checks the hash actually distributes:
+// with 3 replicas and 300 keys, nobody owns everything.
+func TestRankSpreadsKeys(t *testing.T) {
+	reps := named("http://a", "http://b", "http://c")
+	counts := map[string]int{}
+	for i := 0; i < 300; i++ {
+		counts[rankReplicas(reps, fmt.Sprintf("hash-%d", i))[0].Name]++
+	}
+	for name, n := range counts {
+		if n == 0 || n == 300 {
+			t.Fatalf("replica %s owns %d of 300 keys", name, n)
+		}
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d replicas own keys", len(counts))
+	}
+}

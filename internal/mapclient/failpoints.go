@@ -1,0 +1,121 @@
+package mapclient
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// Fault injection, mirroring the snapfile failpoint pattern: test-only
+// hooks that make the next transport attempts misbehave — added
+// latency, a dropped connection, or a forced 5xx — without any
+// cooperation from the server. Because mapclient is also maprouter's
+// upstream transport, arming these in a router process injects the
+// same faults into replica traffic. Arming requires the
+// FLEET_FAILPOINTS environment variable so production binaries cannot
+// trip them by accident; without it the hooks cost one environment
+// lookup per attempt.
+
+// ErrFailpointsDisabled is returned by the Arm functions when the
+// FLEET_FAILPOINTS environment variable is not "1".
+var ErrFailpointsDisabled = errors.New("mapclient: failpoints need FLEET_FAILPOINTS=1")
+
+// errInjectedDrop is the transport error a drop failpoint produces; it
+// is retryable, like the connection reset it emulates.
+var errInjectedDrop = errors.New("mapclient: failpoint dropped connection")
+
+var (
+	failpointMu      sync.Mutex
+	failpointLatency []time.Duration
+	failpointDrops   int
+	failpointStatus  []int
+)
+
+func failpointsEnabled() bool { return os.Getenv("FLEET_FAILPOINTS") == "1" }
+
+// ArmLatencyFailpoint schedules the next n attempts (process-wide) to
+// stall for d before sending, emulating a slow or congested replica.
+func ArmLatencyFailpoint(d time.Duration, n int) error {
+	if !failpointsEnabled() {
+		return ErrFailpointsDisabled
+	}
+	failpointMu.Lock()
+	for i := 0; i < n; i++ {
+		failpointLatency = append(failpointLatency, d)
+	}
+	failpointMu.Unlock()
+	return nil
+}
+
+// ArmDropFailpoint schedules the next n attempts (process-wide) to
+// fail with a connection-drop error before reaching the server,
+// emulating a replica dying under the request.
+func ArmDropFailpoint(n int) error {
+	if !failpointsEnabled() {
+		return ErrFailpointsDisabled
+	}
+	failpointMu.Lock()
+	failpointDrops += n
+	failpointMu.Unlock()
+	return nil
+}
+
+// ArmStatusFailpoint schedules the next n attempts (process-wide) to
+// return the given HTTP status as an *APIError without reaching the
+// server, emulating replica-side 5xx failures.
+func ArmStatusFailpoint(status, n int) error {
+	if !failpointsEnabled() {
+		return ErrFailpointsDisabled
+	}
+	failpointMu.Lock()
+	for i := 0; i < n; i++ {
+		failpointStatus = append(failpointStatus, status)
+	}
+	failpointMu.Unlock()
+	return nil
+}
+
+// failpointEnter runs at the top of every transport attempt: it pops
+// and applies one armed fault, in latency → drop → status order.
+func failpointEnter() error {
+	if !failpointsEnabled() {
+		return nil
+	}
+	failpointMu.Lock()
+	var stall time.Duration
+	if len(failpointLatency) > 0 {
+		stall = failpointLatency[0]
+		failpointLatency = failpointLatency[1:]
+	}
+	drop := failpointDrops > 0
+	if drop {
+		failpointDrops--
+	}
+	status := 0
+	if !drop && len(failpointStatus) > 0 {
+		status = failpointStatus[0]
+		failpointStatus = failpointStatus[1:]
+	}
+	failpointMu.Unlock()
+	if stall > 0 {
+		time.Sleep(stall)
+	}
+	if drop {
+		return errInjectedDrop
+	}
+	if status != 0 {
+		return &APIError{Status: status, Message: fmt.Sprintf("failpoint forced %d", status)}
+	}
+	return nil
+}
+
+// ResetFailpoints disarms every armed failpoint, for test cleanup.
+func ResetFailpoints() {
+	failpointMu.Lock()
+	failpointLatency = nil
+	failpointDrops = 0
+	failpointStatus = nil
+	failpointMu.Unlock()
+}

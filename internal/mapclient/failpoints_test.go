@@ -1,0 +1,100 @@
+package mapclient
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+func TestFailpointsNeedEnvGate(t *testing.T) {
+	t.Setenv("FLEET_FAILPOINTS", "")
+	if err := ArmDropFailpoint(1); err != ErrFailpointsDisabled {
+		t.Errorf("ArmDropFailpoint without gate: %v, want ErrFailpointsDisabled", err)
+	}
+	if err := ArmLatencyFailpoint(time.Millisecond, 1); err != ErrFailpointsDisabled {
+		t.Errorf("ArmLatencyFailpoint without gate: %v", err)
+	}
+	if err := ArmStatusFailpoint(500, 1); err != ErrFailpointsDisabled {
+		t.Errorf("ArmStatusFailpoint without gate: %v", err)
+	}
+}
+
+func TestDropFailpointRetriedTransparently(t *testing.T) {
+	t.Setenv("FLEET_FAILPOINTS", "1")
+	t.Cleanup(ResetFailpoints)
+
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		json.NewEncoder(w).Encode(engine.Job{ID: "job-000001", Status: engine.StatusQueued})
+	}))
+	defer srv.Close()
+
+	if err := ArmDropFailpoint(2); err != nil {
+		t.Fatal(err)
+	}
+	c := New(srv.URL, fastCfg())
+	job, err := c.SubmitJob(context.Background(), engine.JobSpec{Topology: "grid:4x4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.ID != "job-000001" {
+		t.Errorf("job ID = %q", job.ID)
+	}
+	// The two dropped attempts never reached the server.
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d calls, want 1", got)
+	}
+	if got := c.Retries(); got != 2 {
+		t.Errorf("client counted %d retries, want 2", got)
+	}
+}
+
+func TestStatusFailpointForces500(t *testing.T) {
+	t.Setenv("FLEET_FAILPOINTS", "1")
+	t.Cleanup(ResetFailpoints)
+
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(engine.Job{ID: "job-000001", Status: engine.StatusQueued})
+	}))
+	defer srv.Close()
+
+	if err := ArmStatusFailpoint(http.StatusInternalServerError, 1); err != nil {
+		t.Fatal(err)
+	}
+	c := New(srv.URL, fastCfg())
+	if _, err := c.SubmitJob(context.Background(), engine.JobSpec{Topology: "grid:4x4"}); err != nil {
+		t.Fatalf("forced 500 was not retried to success: %v", err)
+	}
+	if got := c.Retries(); got != 1 {
+		t.Errorf("client counted %d retries, want 1", got)
+	}
+}
+
+func TestLatencyFailpointStalls(t *testing.T) {
+	t.Setenv("FLEET_FAILPOINTS", "1")
+	t.Cleanup(ResetFailpoints)
+
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(engine.Job{ID: "job-000001", Status: engine.StatusQueued})
+	}))
+	defer srv.Close()
+
+	if err := ArmLatencyFailpoint(150*time.Millisecond, 1); err != nil {
+		t.Fatal(err)
+	}
+	c := New(srv.URL, fastCfg())
+	start := time.Now()
+	if _, err := c.GetJob(context.Background(), "job-000001"); err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took < 140*time.Millisecond {
+		t.Errorf("call with armed latency took %v, want ≥ 150ms stall", took)
+	}
+}

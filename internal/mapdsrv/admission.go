@@ -1,11 +1,11 @@
-package main
+package mapdsrv
 
 import (
 	"math"
+	"math/rand/v2"
 	"net"
 	"net/http"
 	"sync"
-	"sync/atomic"
 	"time"
 )
 
@@ -24,15 +24,10 @@ type limiter struct {
 	mu      sync.Mutex
 	buckets map[string]*bucket
 
-	// quotaHits counts per-client 429s; shed (below, atomic) counts
+	// quotaHits counts per-client 429s; the server's shedTotal counts
 	// every shed request across causes.
 	quotaHits map[string]int64
 }
-
-// shedTotal counts every load-shedding response (quota and queue-full
-// alike) served by this process. Process-wide: the counter survives
-// limiter reconfiguration and reads without a lock.
-var shedTotal atomic.Int64
 
 // bucket is one client's token bucket: a continuous refill at the
 // limiter's rate, capped at burst.
@@ -142,11 +137,16 @@ func clientKey(r *http.Request) string {
 }
 
 // retryAfterSeconds renders a Retry-After value: at least 1 second,
-// rounded up, so a client library's naive sleep is always nonzero.
+// rounded up, so a client library's naive sleep is always nonzero —
+// plus a uniform random spread of up to half the base wait. Without
+// the jitter, every client shed in the same overload moment is told
+// the same second and the whole cohort returns as a thundering herd
+// that sheds again; the spread staggers their return while keeping the
+// promise that waiting the advertised time is always enough.
 func retryAfterSeconds(d time.Duration) int {
 	secs := int(math.Ceil(d.Seconds()))
 	if secs < 1 {
 		secs = 1
 	}
-	return secs
+	return secs + rand.IntN(secs/2+2)
 }

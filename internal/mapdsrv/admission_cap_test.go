@@ -1,0 +1,81 @@
+package mapdsrv
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestLimiterCapEvictsStalestUnderChurn churns 2x maxClients distinct
+// clients through the limiter at strictly increasing times and asserts
+// the bucket map never grows past the cap and that eviction is
+// stalest-first: after the churn, exactly the most recent maxClients
+// clients survive.
+func TestLimiterCapEvictsStalestUnderChurn(t *testing.T) {
+	l := newLimiter(1000, 10)
+	start := time.Now()
+	total := 2 * maxClients
+	for i := 0; i < total; i++ {
+		now := start.Add(time.Duration(i) * time.Millisecond)
+		if ok, _ := l.allow(fmt.Sprintf("c%d", i), now); !ok {
+			t.Fatalf("client c%d denied on first contact", i)
+		}
+		l.mu.Lock()
+		n := len(l.buckets)
+		l.mu.Unlock()
+		if n > maxClients {
+			t.Fatalf("after %d clients: %d buckets tracked, cap is %d", i+1, n, maxClients)
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.buckets) != maxClients {
+		t.Fatalf("after churn: %d buckets, want exactly %d", len(l.buckets), maxClients)
+	}
+	for _, i := range []int{0, 1, maxClients - 1} {
+		if _, ok := l.buckets[fmt.Sprintf("c%d", i)]; ok {
+			t.Errorf("stale client c%d survived churn; stalest should be evicted first", i)
+		}
+	}
+	for _, i := range []int{maxClients, total - 1} {
+		if _, ok := l.buckets[fmt.Sprintf("c%d", i)]; !ok {
+			t.Errorf("recent client c%d was evicted; only stalest entries should be", i)
+		}
+	}
+}
+
+// TestEvictedClientReadmittedGetsFreshBucket drains a client to zero
+// tokens, churns it out of the map, and checks that on return it is
+// admitted immediately: eviction must hand back a full-burst bucket,
+// not resurrect the drained one.
+func TestEvictedClientReadmittedGetsFreshBucket(t *testing.T) {
+	// Refill so slow it is irrelevant on the test's time scale.
+	l := newLimiter(0.0001, 1)
+	start := time.Now()
+	if ok, _ := l.allow("victim", start); !ok {
+		t.Fatal("victim denied its burst token")
+	}
+	if ok, wait := l.allow("victim", start.Add(time.Millisecond)); ok {
+		t.Fatal("victim allowed with an empty bucket")
+	} else if wait <= 0 {
+		t.Fatalf("empty bucket advertised wait %v, want > 0", wait)
+	}
+
+	// Churn in enough newer clients to push the victim (stalest) out.
+	for i := 0; i < maxClients; i++ {
+		now := start.Add(time.Duration(i+2) * time.Millisecond)
+		l.allow(fmt.Sprintf("churn%d", i), now)
+	}
+	l.mu.Lock()
+	_, present := l.buckets["victim"]
+	l.mu.Unlock()
+	if present {
+		t.Fatal("victim still tracked after churn past the cap")
+	}
+
+	// Re-admission long before the old bucket could have refilled: a
+	// fresh bucket admits instantly.
+	if ok, _ := l.allow("victim", start.Add(time.Duration(maxClients+3)*time.Millisecond)); !ok {
+		t.Fatal("re-admitted client denied: eviction resurrected a drained bucket instead of granting a fresh one")
+	}
+}

@@ -1,4 +1,4 @@
-package main
+package mapdsrv
 
 import (
 	"encoding/json"
@@ -37,7 +37,7 @@ func postJob(t *testing.T, url, client string) *http.Response {
 
 func TestQuotaShedsWith429AndRetryAfter(t *testing.T) {
 	eng := engine.New(engine.Options{Workers: 2})
-	srv := httptest.NewServer(newServer(eng, serverConfig{QuotaRate: 0.01, QuotaBurst: 2}))
+	srv := httptest.NewServer(New(eng, Config{QuotaRate: 0.01, QuotaBurst: 2}))
 	t.Cleanup(func() { srv.Close(); eng.Close() })
 
 	// Burst of 2 admitted, the third sheds.
@@ -88,7 +88,7 @@ func TestQuotaShedsWith429AndRetryAfter(t *testing.T) {
 // full quality.
 func TestQueueFullShedsWith429(t *testing.T) {
 	eng := engine.New(engine.Options{Workers: 1, QueueCap: 1})
-	srv := httptest.NewServer(newServer(eng, serverConfig{}))
+	srv := httptest.NewServer(New(eng, Config{}))
 	t.Cleanup(func() { srv.Close(); eng.Close() })
 
 	// The jobs must outlast the submit loop on a warm cache, or the
@@ -143,7 +143,7 @@ func TestQueueFullShedsWith429(t *testing.T) {
 // Retry-After once the engine begins draining.
 func TestWaitReleasedWith503WhileDraining(t *testing.T) {
 	eng := engine.New(engine.Options{Workers: 1})
-	srv := httptest.NewServer(newServer(eng, serverConfig{}))
+	srv := httptest.NewServer(New(eng, Config{}))
 	t.Cleanup(func() { srv.Close(); eng.Close() })
 
 	slow := strings.Replace(jobBody, `"num_hierarchies": 4`, `"num_hierarchies": 80`, 1)
@@ -209,7 +209,7 @@ func TestWaitReleasedWith503WhileDraining(t *testing.T) {
 func TestLedgerSurvivesServerRestart(t *testing.T) {
 	dir := t.TempDir()
 	eng := engine.New(engine.Options{Workers: 2, JobDir: dir})
-	srv := httptest.NewServer(newServer(eng, serverConfig{}))
+	srv := httptest.NewServer(New(eng, Config{}))
 
 	var submitted engine.Job
 	if code := postJSON(t, srv.URL+"/v1/jobs", jobBody, &submitted); code != http.StatusAccepted {
@@ -225,7 +225,7 @@ func TestLedgerSurvivesServerRestart(t *testing.T) {
 	}
 
 	eng2 := engine.New(engine.Options{Workers: 2, JobDir: dir})
-	srv2 := httptest.NewServer(newServer(eng2, serverConfig{}))
+	srv2 := httptest.NewServer(New(eng2, Config{}))
 	t.Cleanup(func() { srv2.Close(); eng2.Close() })
 
 	var replayed engine.Job

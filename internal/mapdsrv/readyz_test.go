@@ -1,0 +1,90 @@
+package mapdsrv
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestReadyzFollowsDrain walks the readiness contract a router depools
+// on: /readyz answers 200 while the engine accepts work and flips to
+// 503 + Retry-After the moment a drain begins, while /healthz keeps
+// answering 200 (the process is alive) but reports draining.
+func TestReadyzFollowsDrain(t *testing.T) {
+	srv, eng := newTestServer(t)
+
+	var ready map[string]any
+	if code := getJSON(t, srv.URL+"/readyz", &ready); code != http.StatusOK {
+		t.Fatalf("/readyz before drain: status %d, want 200", code)
+	}
+	if ready["status"] != "ready" {
+		t.Fatalf("/readyz status = %v, want ready", ready["status"])
+	}
+	var health map[string]any
+	if code := getJSON(t, srv.URL+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("/healthz before drain: status %d, want 200", code)
+	}
+	if draining, ok := health["draining"].(bool); !ok || draining {
+		t.Fatalf("/healthz draining = %v, want false", health["draining"])
+	}
+
+	eng.BeginDrain()
+
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while draining: status %d, want 503", resp.StatusCode)
+	}
+	ra := resp.Header.Get("Retry-After")
+	if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Fatalf("/readyz Retry-After = %q, want integer >= 1", ra)
+	}
+
+	if code := getJSON(t, srv.URL+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("/healthz while draining: status %d, want 200 (liveness)", code)
+	}
+	if draining, ok := health["draining"].(bool); !ok || !draining {
+		t.Fatalf("/healthz draining = %v, want true", health["draining"])
+	}
+}
+
+// TestRetryAfterSecondsJitterBounds pins the Retry-After contract:
+// never below the 1-second floor, never below the true wait, and the
+// jitter spread stays within base + base/2 + 1 so clients that honor
+// the header are never told to wait wildly longer than needed — while
+// still actually spreading (two shed clients should not always be told
+// the same second).
+func TestRetryAfterSecondsJitterBounds(t *testing.T) {
+	for _, tc := range []struct {
+		d    time.Duration
+		base int
+	}{
+		{0, 1},
+		{200 * time.Millisecond, 1},
+		{1 * time.Second, 1},
+		{2500 * time.Millisecond, 3},
+		{10 * time.Second, 10},
+	} {
+		t.Run(fmt.Sprint(tc.d), func(t *testing.T) {
+			seen := make(map[int]bool)
+			for i := 0; i < 400; i++ {
+				got := retryAfterSeconds(tc.d)
+				if got < tc.base {
+					t.Fatalf("retryAfterSeconds(%v) = %d, below base %d", tc.d, got, tc.base)
+				}
+				if max := tc.base + tc.base/2 + 1; got > max {
+					t.Fatalf("retryAfterSeconds(%v) = %d, above max %d", tc.d, got, max)
+				}
+				seen[got] = true
+			}
+			if len(seen) < 2 {
+				t.Fatalf("retryAfterSeconds(%v): no jitter observed, always %v", tc.d, seen)
+			}
+		})
+	}
+}

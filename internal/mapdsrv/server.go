@@ -1,4 +1,9 @@
-package main
+// Package mapdsrv implements the mapd HTTP API as an importable
+// handler: cmd/mapd mounts it on its listener, and the fleet layer
+// (internal/fleet, internal/bench's fleet probe, the chaos tests) uses
+// it to run real replica servers in-process or in killable child
+// processes instead of mocking the API.
+package mapdsrv
 
 import (
 	"encoding/json"
@@ -11,6 +16,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bench"
@@ -35,7 +41,13 @@ import (
 //	GET  /v1/topologies    topology cache contents + hit/miss stats
 //	GET  /v1/bench/matrices  canonical benchmark matrices (smoke, paper)
 //	GET  /v1/stats         runtime + pool statistics (goroutines, jobs served)
-//	GET  /healthz          liveness + pool stats
+//	GET  /healthz          liveness + pool stats (always 200 while the
+//	                       process serves; a "draining" field flips
+//	                       during shutdown)
+//	GET  /readyz           readiness: 200 while accepting work, 503 +
+//	                       Retry-After while draining, so routers and
+//	                       load balancers de-pool the replica before
+//	                       its listener goes away
 //	GET  /debug/pprof/*    CPU/heap/goroutine profiles (only with -pprof)
 type server struct {
 	eng *engine.Engine
@@ -44,23 +56,31 @@ type server struct {
 	maxBody int64
 	// limit is the per-client admission limiter; nil admits everything.
 	limit *limiter
+	// shedTotal counts every load-shedding response (quota, queue-full
+	// and draining alike) served by this handler. Per-server rather than
+	// process-wide so in-process fleet replicas count independently.
+	shedTotal atomic.Int64
 }
 
-// serverConfig bundles newServer's knobs, all optional: Pprof mounts
+// Config bundles New's knobs, all optional: Pprof mounts
 // net/http/pprof under /debug/pprof/ (opt-in — profiling endpoints on
 // a production port are an operational decision, not a default),
 // MaxBody caps request bodies in bytes (0 = the 64 MiB default), and
 // QuotaRate/QuotaBurst configure per-client submission quotas (0 =
 // unlimited; see admission.go).
-type serverConfig struct {
-	Pprof      bool
-	MaxBody    int64
+type Config struct {
+	// Pprof mounts net/http/pprof under /debug/pprof/ when true.
+	Pprof bool
+	// MaxBody caps request bodies in bytes (0 = the 64 MiB default).
+	MaxBody int64
+	// QuotaRate is the per-client submission quota in requests/second
+	// (0 = unlimited); QuotaBurst the burst above it (0 = 2x the rate).
 	QuotaRate  float64
 	QuotaBurst int
 }
 
-// newServer builds the mapd HTTP handler around an engine.
-func newServer(eng *engine.Engine, cfg serverConfig) http.Handler {
+// New builds the mapd HTTP handler around an engine.
+func New(eng *engine.Engine, cfg Config) http.Handler {
 	maxBody := cfg.MaxBody
 	if maxBody <= 0 {
 		maxBody = maxBodyBytes
@@ -79,6 +99,7 @@ func newServer(eng *engine.Engine, cfg serverConfig) http.Handler {
 	mux.HandleFunc("GET /v1/bench/matrices", s.benchMatrices)
 	mux.HandleFunc("GET /v1/stats", s.stats)
 	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("GET /readyz", s.readyz)
 	if withPprof {
 		// No method prefix: net/http/pprof's contract is method-agnostic
 		// (go tool pprof POSTs to /debug/pprof/symbol).
@@ -106,8 +127,8 @@ func writeError(w http.ResponseWriter, status int, err error) {
 // shed refuses a request with a Retry-After header: 429 for overload
 // (quota, queue at capacity), 503 for a draining server. Every shed is
 // counted for /v1/stats.
-func shed(w http.ResponseWriter, status int, retryAfter time.Duration, err error) {
-	shedTotal.Add(1)
+func (s *server) shed(w http.ResponseWriter, status int, retryAfter time.Duration, err error) {
+	s.shedTotal.Add(1)
 	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(retryAfter)))
 	writeError(w, status, err)
 }
@@ -118,11 +139,11 @@ func shed(w http.ResponseWriter, status int, retryAfter time.Duration, err error
 // may proceed.
 func (s *server) admit(w http.ResponseWriter, r *http.Request) bool {
 	if s.eng.Draining() {
-		shed(w, http.StatusServiceUnavailable, drainRetryAfter, engine.ErrDraining)
+		s.shed(w, http.StatusServiceUnavailable, drainRetryAfter, engine.ErrDraining)
 		return false
 	}
 	if ok, wait := s.limit.allow(clientKey(r), time.Now()); !ok {
-		shed(w, http.StatusTooManyRequests, wait,
+		s.shed(w, http.StatusTooManyRequests, wait,
 			fmt.Errorf("client %q over submission quota", clientKey(r)))
 		return false
 	}
@@ -161,9 +182,9 @@ func (s *server) submitJob(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, engine.ErrQueueFull):
 		// Overload, not outage: the client should back off and retry,
 		// which is exactly what 429 + Retry-After says.
-		shed(w, http.StatusTooManyRequests, queueFullRetryAfter, err)
+		s.shed(w, http.StatusTooManyRequests, queueFullRetryAfter, err)
 	case errors.Is(err, engine.ErrDraining):
-		shed(w, http.StatusServiceUnavailable, drainRetryAfter, err)
+		s.shed(w, http.StatusServiceUnavailable, drainRetryAfter, err)
 	default:
 		writeError(w, http.StatusServiceUnavailable, err)
 	}
@@ -189,11 +210,11 @@ func (s *server) submitBatch(w http.ResponseWriter, r *http.Request) {
 		status := http.StatusBadRequest
 		switch {
 		case errors.Is(err, engine.ErrQueueFull):
-			shedTotal.Add(1)
+			s.shedTotal.Add(1)
 			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(queueFullRetryAfter)))
 			status = http.StatusTooManyRequests
 		case errors.Is(err, engine.ErrDraining):
-			shedTotal.Add(1)
+			s.shedTotal.Add(1)
 			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(drainRetryAfter)))
 			status = http.StatusServiceUnavailable
 		case errors.Is(err, engine.ErrClosed):
@@ -240,7 +261,7 @@ func (s *server) getJob(w http.ResponseWriter, r *http.Request) {
 			// A draining server releases its waiters instead of holding
 			// them across the shutdown: retry after the restart, when the
 			// job will have been recovered from the ledger.
-			shed(w, http.StatusServiceUnavailable, drainRetryAfter, err)
+			s.shed(w, http.StatusServiceUnavailable, drainRetryAfter, err)
 		case r.Context().Err() != nil:
 			// Client gone; nothing useful can be written.
 		default:
@@ -413,7 +434,7 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 		"heap_alloc_bytes":  mem.HeapAlloc,
 		"total_alloc_bytes": mem.TotalAlloc,
 		"num_gc":            mem.NumGC,
-		"shed_total":        shedTotal.Load(),
+		"shed_total":        s.shedTotal.Load(),
 		"topology_cache": map[string]any{
 			"entries": len(s.eng.Cache().Snapshot()),
 			"hits":    hits,
@@ -429,6 +450,24 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":      "ok",
+		"workers":     s.eng.Workers(),
+		"queue_depth": s.eng.QueueDepth(),
+		"draining":    s.eng.Draining(),
+	})
+}
+
+// readyz is the readiness probe routers and load balancers de-pool on:
+// 200 while the replica accepts work, 503 + Retry-After once it begins
+// draining — before the listener goes away, so clients see an orderly
+// "come back later" instead of refused connections. Liveness stays on
+// /healthz, which keeps answering 200 throughout the drain.
+func (s *server) readyz(w http.ResponseWriter, r *http.Request) {
+	if s.eng.Draining() {
+		s.shed(w, http.StatusServiceUnavailable, drainRetryAfter, engine.ErrDraining)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ready",
 		"workers":     s.eng.Workers(),
 		"queue_depth": s.eng.QueueDepth(),
 	})

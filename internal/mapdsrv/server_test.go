@@ -1,4 +1,4 @@
-package main
+package mapdsrv
 
 import (
 	"bytes"
@@ -18,7 +18,7 @@ import (
 func newTestServer(t *testing.T) (*httptest.Server, *engine.Engine) {
 	t.Helper()
 	eng := engine.New(engine.Options{Workers: 2})
-	srv := httptest.NewServer(newServer(eng, serverConfig{Pprof: true}))
+	srv := httptest.NewServer(New(eng, Config{Pprof: true}))
 	t.Cleanup(func() {
 		srv.Close()
 		eng.Close()
@@ -246,7 +246,7 @@ func TestMapdStatsAndPprof(t *testing.T) {
 
 	// Without the flag, the profiling surface must not exist.
 	eng := engine.New(engine.Options{Workers: 1})
-	plain := httptest.NewServer(newServer(eng, serverConfig{}))
+	plain := httptest.NewServer(New(eng, Config{}))
 	defer func() {
 		plain.Close()
 		eng.Close()
@@ -477,7 +477,7 @@ func TestMapdGraphIngest(t *testing.T) {
 // are left behind.
 func TestMapdSpooledUpload(t *testing.T) {
 	eng := engine.New(engine.Options{Workers: 2})
-	srv := httptest.NewServer(newServer(eng, serverConfig{MaxBody: 4096}))
+	srv := httptest.NewServer(New(eng, Config{MaxBody: 4096}))
 	t.Cleanup(func() {
 		srv.Close()
 		eng.Close()

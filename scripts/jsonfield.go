@@ -3,11 +3,14 @@
 //
 // Usage: go run ./scripts/jsonfield.go FILE KEY
 //
-// The document is searched depth-first and the first value found under
-// KEY wins, so nested fields (stats' engine.job_store.jobs_recovered,
+// A KEY without dots is searched depth-first and the first value found
+// under it wins, so nested fields (stats' engine.job_store.jobs_recovered,
 // a job's result.served_from_ledger) resolve by their leaf name alone —
-// callers must only query keys that appear once per document. Missing
-// keys print nothing and exit 0 so callers can default.
+// callers must only query keys that appear once per document. A KEY
+// with dots is a path from the root, mixing map keys and 0-based array
+// indices (replicas.0.submits), for documents where the same leaf
+// repeats per array element. Missing keys print nothing and exit 0 so
+// callers can default.
 package main
 
 import (
@@ -15,6 +18,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strconv"
+	"strings"
 )
 
 func main() {
@@ -32,7 +37,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "jsonfield:", err)
 		os.Exit(1)
 	}
-	if v, ok := find(doc, os.Args[2]); ok {
+	key := os.Args[2]
+	lookup := func() (any, bool) {
+		if strings.Contains(key, ".") {
+			return findPath(doc, strings.Split(key, "."))
+		}
+		return find(doc, key)
+	}
+	if v, ok := lookup(); ok {
 		switch x := v.(type) {
 		case float64:
 			if x == math.Trunc(x) {
@@ -44,6 +56,30 @@ func main() {
 			fmt.Println(x)
 		}
 	}
+}
+
+// findPath resolves a root-anchored path: each segment indexes the
+// current map by key, or the current array by 0-based position.
+func findPath(doc any, path []string) (any, bool) {
+	for _, seg := range path {
+		switch node := doc.(type) {
+		case map[string]any:
+			v, ok := node[seg]
+			if !ok {
+				return nil, false
+			}
+			doc = v
+		case []any:
+			i, err := strconv.Atoi(seg)
+			if err != nil || i < 0 || i >= len(node) {
+				return nil, false
+			}
+			doc = node[i]
+		default:
+			return nil, false
+		}
+	}
+	return doc, true
 }
 
 // find walks maps (direct keys before descent) and arrays depth-first.

@@ -43,6 +43,13 @@ wait_ready() {
   fail "mapd on $ADDR never became ready"
 }
 
+# Fail fast when the port is already bound: starting mapd against it
+# would die immediately and every later curl would report confusing
+# connection errors against whatever process actually owns the port.
+if (exec 3<>"/dev/tcp/127.0.0.1/${PORT}") 2>/dev/null; then
+  fail "port $PORT on 127.0.0.1 is already in use — pick a free one: scripts/mapd_crash_recovery.sh <port>"
+fi
+
 JOB_BODY='{"graph": {"network": "p2p-Gnutella", "scale": 0.25},
            "topology": "grid:8x8", "case": "identity",
            "num_hierarchies": 40, "seed": %d}'
